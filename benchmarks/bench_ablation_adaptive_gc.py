@@ -1,0 +1,54 @@
+"""Ablation: garbage collection frequency adapted to physical memory (S1).
+
+"A run-time memory management library using garbage collection can adapt
+the frequency of collections to available physical memory, if this
+information is available to it."  The ablation compares the adaptive
+collector (collects before the heap outgrows real memory) against the
+memory-oblivious one (fixed virtual-heap threshold), and sweeps the
+machine size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.adaptive_gc import run_gc_workload
+
+
+def test_adaptive_vs_oblivious(benchmark):
+    def run():
+        return run_gc_workload(adaptive=True), run_gc_workload(adaptive=False)
+
+    adaptive, oblivious = benchmark.pedantic(run, rounds=1, iterations=1)
+    # the adaptive runtime trades collections for zero paging
+    assert adaptive.collections > oblivious.collections
+    assert adaptive.paging_io_operations == 0
+    assert oblivious.paging_io_operations > 0
+    benchmark.extra_info["adaptive_collections"] = adaptive.collections
+    benchmark.extra_info["oblivious_paging_io"] = (
+        oblivious.paging_io_operations
+    )
+
+
+@pytest.mark.parametrize("frames", [96, 192, 384])
+def test_collection_frequency_tracks_memory(benchmark, frames):
+    stats = benchmark.pedantic(
+        lambda: run_gc_workload(adaptive=True, physical_frames=frames),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats.paging_io_operations == 0
+    benchmark.extra_info["collections"] = stats.collections
+    benchmark.extra_info["frames"] = frames
+
+
+def test_frequency_monotone_in_memory(benchmark):
+    def run():
+        return {
+            f: run_gc_workload(adaptive=True, physical_frames=f).collections
+            for f in (96, 192, 384)
+        }
+
+    collections = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert collections[96] >= collections[192] >= collections[384]
+    assert collections[96] > collections[384]

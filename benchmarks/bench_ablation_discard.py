@@ -1,0 +1,76 @@
+"""Ablation: discardable pages vs forced writeback.
+
+Subramanian's result (S4) reproduced with external page-cache management
+and *no* kernel additions: an ML-style workload allocates, dirties, and
+garbage-collects heap pages; a manager told which pages are garbage
+reclaims them without writeback.  The ablation compares reclamation I/O
+with and without discard knowledge.
+"""
+
+from __future__ import annotations
+
+from repro import build_system
+from repro.managers.discard_manager import DiscardableSegmentManager
+
+HEAP_PAGES = 96
+GARBAGE_FRACTION = 2 / 3  # most of a young generation is garbage
+
+
+def gc_cycle(use_discard_knowledge: bool) -> tuple[int, int, float]:
+    """One collection: dirty the heap, mark garbage, reclaim everything.
+
+    Returns (writebacks_done, writebacks_avoided, io_us).
+    """
+    system = build_system(memory_mb=16)
+    kernel = system.kernel
+    manager = DiscardableSegmentManager(
+        kernel, system.spcm, system.file_server,
+        initial_frames=HEAP_PAGES + 8,
+    )
+    heap = kernel.create_segment(HEAP_PAGES, name="ml-heap", manager=manager)
+    system.file_server.create_file(heap, data=b"h" * (HEAP_PAGES * 4096))
+    for page in range(HEAP_PAGES):
+        kernel.reference(heap, page * 4096, write=True)  # all dirty
+    if use_discard_knowledge:
+        n_garbage = int(HEAP_PAGES * GARBAGE_FRACTION)
+        manager.mark_discardable(heap, 0, n_garbage)
+    kernel.meter.reset()
+    for page in range(HEAP_PAGES):
+        manager.reclaim_one(heap, page)
+    io_us = kernel.meter.by_category.get("file_server", 0.0)
+    return manager.writebacks_done, manager.writebacks_avoided, io_us
+
+
+def test_oblivious_manager_writes_everything(benchmark):
+    done, avoided, io_us = benchmark.pedantic(
+        lambda: gc_cycle(False), rounds=2, iterations=1
+    )
+    assert done == HEAP_PAGES
+    assert avoided == 0
+    benchmark.extra_info["writebacks"] = done
+    benchmark.extra_info["io_ms"] = round(io_us / 1000.0, 1)
+
+
+def test_discard_knowledge_skips_garbage_writeback(benchmark):
+    done, avoided, io_us = benchmark.pedantic(
+        lambda: gc_cycle(True), rounds=2, iterations=1
+    )
+    n_garbage = int(HEAP_PAGES * GARBAGE_FRACTION)
+    assert avoided == n_garbage
+    assert done == HEAP_PAGES - n_garbage
+    benchmark.extra_info["writebacks"] = done
+    benchmark.extra_info["avoided"] = avoided
+    benchmark.extra_info["io_ms"] = round(io_us / 1000.0, 1)
+
+
+def test_io_saved_is_proportional_to_garbage(benchmark):
+    def run():
+        _, _, oblivious = gc_cycle(False)
+        _, _, informed = gc_cycle(True)
+        return oblivious, informed
+
+    oblivious, informed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert informed < oblivious * (1 - GARBAGE_FRACTION) * 1.1
+    benchmark.extra_info["io_saved_fraction"] = round(
+        1 - informed / oblivious, 3
+    )

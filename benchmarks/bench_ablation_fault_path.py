@@ -1,0 +1,84 @@
+"""Ablation: where the fault handler runs.
+
+S2.1 discusses three regimes: the faulting process executes the manager
+(upcall, direct resumption), a separate manager process (IPC plus two
+context switches), and the conventional in-kernel path.  This ablation
+measures all three on identical fault streams and decomposes the
+separate-process premium into its IPC/context-switch parts.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import build_system
+from repro.baseline.ultrix_vm import UltrixVM
+from repro.core.manager_api import InvocationMode
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+
+N_FAULTS = 256
+
+
+def vpp_fault_costs(invocation: InvocationMode) -> tuple[float, dict]:
+    system = build_system(memory_mb=16)
+
+    class Manager(GenericSegmentManager):
+        pass
+
+    Manager.invocation = invocation
+    manager = Manager(
+        system.kernel, system.spcm, "ablate", initial_frames=N_FAULTS + 16
+    )
+    seg = system.kernel.create_segment(N_FAULTS, manager=manager)
+    system.kernel.meter.reset()
+    for page in range(N_FAULTS):
+        system.kernel.reference(seg, page * 4096, write=True)
+    meter = system.kernel.meter
+    return meter.total_us / N_FAULTS, meter.snapshot()
+
+
+def ultrix_fault_cost() -> float:
+    vm = UltrixVM(PhysicalMemory(16 * 1024 * 1024))
+    space = vm.create_space(N_FAULTS)
+    for page in range(N_FAULTS):
+        vm.reference(space, page * 4096, write=True)
+    return vm.meter.total_us / N_FAULTS
+
+
+def test_in_process_vs_separate_vs_kernel(benchmark):
+    def run():
+        in_proc, _ = vpp_fault_costs(InvocationMode.IN_PROCESS)
+        separate, breakdown = vpp_fault_costs(InvocationMode.SEPARATE_PROCESS)
+        kernel_path = ultrix_fault_cost()
+        return in_proc, separate, kernel_path, breakdown
+
+    in_proc, separate, kernel_path, breakdown = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # the paper's ordering: upcall < in-kernel < IPC manager
+    assert in_proc < kernel_path < separate
+    assert in_proc == 107.0
+    assert separate == 379.0
+    assert kernel_path == 175.0
+    benchmark.extra_info["in_process_us"] = in_proc
+    benchmark.extra_info["separate_us"] = separate
+    benchmark.extra_info["in_kernel_us"] = kernel_path
+
+
+def test_ipc_premium_is_context_switches(benchmark):
+    """The 272 us premium of the separate manager is two messages plus
+    two context switches plus kernel resumption."""
+
+    def run():
+        _, breakdown = vpp_fault_costs(InvocationMode.SEPARATE_PROCESS)
+        return breakdown
+
+    breakdown = benchmark.pedantic(run, rounds=1, iterations=1)
+    ipc_us = breakdown["fault_ipc"] / N_FAULTS
+    system = build_system(memory_mb=8)
+    costs = system.kernel.costs
+    assert ipc_us == 2 * (costs.ipc_message + costs.context_switch)
+    benchmark.extra_info["ipc_and_switches_us"] = ipc_us

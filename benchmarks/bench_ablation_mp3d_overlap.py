@@ -1,0 +1,70 @@
+"""Ablation: the MP3D overlap claim (S1), quantified.
+
+"[MP3D] takes approximately 12 seconds to scan its in-memory data of 200
+megabytes for each simulated time interval ... there is ample time to
+overlap prefetching and writeback if the data does not fit entirely in
+memory."  The ablation sweeps the memory shortfall and reports time-step
+durations with demand paging vs application-directed prefetch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.mp3d import MP3DModel
+
+
+@pytest.mark.parametrize("shortfall_mb", [0.0, 10.0, 20.0, 32.0, 60.0])
+def test_timestep_by_shortfall(benchmark, shortfall_mb):
+    model = MP3DModel()
+
+    def run():
+        return (
+            model.simulate_timestep(shortfall_mb, prefetch=False),
+            model.simulate_timestep(shortfall_mb, prefetch=True),
+        )
+
+    demand_s, prefetch_s = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert prefetch_s <= demand_s
+    benchmark.extra_info["demand_s"] = round(demand_s, 2)
+    benchmark.extra_info["prefetch_s"] = round(prefetch_s, 2)
+    benchmark.extra_info["feasible"] = model.overlap_feasible(
+        shortfall_mb, writeback=False
+    )
+
+
+def test_ample_time_claim(benchmark):
+    """Within the feasible envelope, prefetch recovers the full in-memory
+    scan rate; demand paging never does."""
+    model = MP3DModel()
+
+    def run():
+        base = model.simulate_timestep(0.0, prefetch=False)
+        limit = model.max_overlappable_shortfall_mb(writeback=False)
+        at_limit = model.simulate_timestep(limit * 0.95, prefetch=True)
+        demand = model.simulate_timestep(limit * 0.95, prefetch=False)
+        return base, at_limit, demand, limit
+
+    base, at_limit, demand, limit = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert at_limit == pytest.approx(base, rel=0.02)
+    assert demand > base * 1.3
+    benchmark.extra_info["overlappable_mb"] = round(limit, 1)
+    benchmark.extra_info["scan_s"] = round(base, 2)
+
+
+def test_adaptation_tradeoff(benchmark):
+    """The space-time tradeoff the paper wants the application to make:
+    memory availability determines particles per run, hence runs."""
+    model = MP3DModel()
+
+    def run():
+        samples = 50_000_000
+        return {
+            mb: model.runs_needed(samples, mb) for mb in (50, 100, 200)
+        }
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert runs[50] > runs[100] > runs[200]
+    assert runs[50] == pytest.approx(4 * runs[200], abs=1)

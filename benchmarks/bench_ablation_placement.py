@@ -1,0 +1,96 @@
+"""Ablation: physical placement control on distributed memory (DASH).
+
+S1's motivation: on a machine like DASH, "a large-scale application can
+allocate page frames to specific portions of the program based on a page
+frame's physical location".  The ablation compares per-reference access
+cost for data placed on its accessor's node (via SPCM physical-range
+requests) against placement-oblivious allocation, across a range of
+remote/local cost ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import Kernel
+from repro.hw.numa import NumaTopology
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+from repro.managers.placement_manager import PlacementSegmentManager
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import SystemPageCacheManager
+
+N_NODES = 4
+PAGES_PER_NODE_SEGMENT = 32
+
+
+def build(ratio: float):
+    memory = PhysicalMemory(8 * 1024 * 1024)
+    kernel = Kernel(memory)
+    spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(0))
+    topology = NumaTopology.for_memory(
+        memory, N_NODES, local_access_us=0.1, remote_access_us=0.1 * ratio
+    )
+    return kernel, spcm, topology
+
+
+def placed_cost(ratio: float) -> float:
+    kernel, spcm, topology = build(ratio)
+    manager = PlacementSegmentManager(
+        kernel, spcm, topology, frames_per_node=PAGES_PER_NODE_SEGMENT
+    )
+    total = 0.0
+    pages = 0
+    for node in range(N_NODES):
+        seg = manager.create_home_segment(PAGES_PER_NODE_SEGMENT, node)
+        for page in range(PAGES_PER_NODE_SEGMENT):
+            kernel.reference(seg, page * 4096)
+        report = manager.locality_report(seg)
+        total += report["mean_access_us"] * PAGES_PER_NODE_SEGMENT
+        pages += PAGES_PER_NODE_SEGMENT
+    return total / pages
+
+
+def oblivious_cost(ratio: float) -> float:
+    kernel, spcm, topology = build(ratio)
+    manager = GenericSegmentManager(
+        kernel, spcm, "oblivious",
+        initial_frames=N_NODES * PAGES_PER_NODE_SEGMENT,
+    )
+    total = 0.0
+    pages = 0
+    for node in range(N_NODES):
+        seg = kernel.create_segment(
+            PAGES_PER_NODE_SEGMENT, name=f"n{node}", manager=manager
+        )
+        for page in range(PAGES_PER_NODE_SEGMENT):
+            kernel.reference(seg, page * 4096)
+        # node `node`'s threads access this segment
+        total += sum(
+            topology.access_us(node, f.phys_addr)
+            for f in seg.pages.values()
+        )
+        pages += PAGES_PER_NODE_SEGMENT
+    return total / pages
+
+
+@pytest.mark.parametrize("ratio", [2.0, 4.0, 8.0])
+def test_placement_advantage_by_remote_ratio(benchmark, ratio):
+    def run():
+        return placed_cost(ratio), oblivious_cost(ratio)
+
+    placed, oblivious = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert placed < oblivious
+    # placed cost is the local rate regardless of the remote penalty
+    assert placed == pytest.approx(0.1)
+    benchmark.extra_info["placed_us"] = round(placed, 3)
+    benchmark.extra_info["oblivious_us"] = round(oblivious, 3)
+    benchmark.extra_info["speedup"] = round(oblivious / placed, 2)
+
+
+def test_penalty_grows_with_remote_ratio(benchmark):
+    def run():
+        return {r: oblivious_cost(r) for r in (2.0, 4.0, 8.0)}
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert costs[2.0] < costs[4.0] < costs[8.0]

@@ -1,0 +1,75 @@
+"""Ablation: protection-fault batching in the default manager's clock.
+
+"To reduce the overhead of handling these faults, the default manager
+changes the protection on a number of contiguous pages, rather than a
+single page, when a fault occurs" (S2.3).  Sweeping the batch size shows
+the tradeoff: bigger batches cut fault overhead but over-approximate the
+working set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import Kernel
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+from repro.managers.clock import ProtectionClockSampler
+from repro.spcm.spcm import SystemPageCacheManager
+
+SEGMENT_PAGES = 64
+TOUCHED_PAGES = 32  # the true working set: every other page
+
+
+def sample_interval(batch_pages: int):
+    kernel = Kernel(PhysicalMemory(64 * 1024 * 1024))
+    spcm = SystemPageCacheManager(kernel)
+    manager = GenericSegmentManager(
+        kernel, spcm, "sampled", initial_frames=SEGMENT_PAGES + 8
+    )
+    sampler = ProtectionClockSampler(manager, batch_pages=batch_pages)
+    manager.on_protection_fault = (  # type: ignore[method-assign]
+        lambda seg, fault: sampler.note_protection_fault(seg, fault.page)
+    )
+    seg = kernel.create_segment(SEGMENT_PAGES, manager=manager)
+    for page in range(SEGMENT_PAGES):
+        kernel.reference(seg, page * 4096)
+    sampler.begin_interval([seg])
+    kernel.meter.reset()
+    for page in range(0, SEGMENT_PAGES, 2):  # touch every other page
+        kernel.reference(seg, page * 4096)
+    return (
+        sampler.protection_faults,
+        sampler.working_set(seg),
+        kernel.meter.total_us,
+    )
+
+
+@pytest.mark.parametrize("batch", [1, 2, 4, 8, 16])
+def test_batch_size_tradeoff(benchmark, batch):
+    faults, estimate, cost_us = benchmark.pedantic(
+        lambda: sample_interval(batch), rounds=3, iterations=1
+    )
+    # the estimate never undercounts the true working set
+    assert estimate >= TOUCHED_PAGES
+    # and each batch of b pages costs at most ceil(touched/?) faults
+    assert faults <= -(-SEGMENT_PAGES // batch)
+    benchmark.extra_info["protection_faults"] = faults
+    benchmark.extra_info["working_set_estimate"] = estimate
+    benchmark.extra_info["sampling_cost_us"] = round(cost_us, 1)
+
+
+def test_batching_monotone_fault_reduction(benchmark):
+    def sweep():
+        return {b: sample_interval(b) for b in (1, 4, 16)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    faults = {b: r[0] for b, r in results.items()}
+    estimates = {b: r[1] for b, r in results.items()}
+    costs = {b: r[2] for b, r in results.items()}
+    # bigger batches: strictly fewer faults and cheaper sampling...
+    assert faults[1] > faults[4] > faults[16]
+    assert costs[1] > costs[4] > costs[16]
+    # ...but coarser estimates
+    assert estimates[1] == TOUCHED_PAGES
+    assert estimates[16] >= estimates[4] >= estimates[1]

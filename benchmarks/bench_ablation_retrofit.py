@@ -1,0 +1,93 @@
+"""Ablation: the Unix retrofit vs native V++ external page-cache management.
+
+S2.4 argues the kernel extensions "could be added to a conventional Unix
+system" with a page-cache file designation, an ioctl, and the signal/wait
+mechanism.  The ablation measures the retrofit's minimal fault next to the
+V++ paths and the stock ULTRIX fault, placing the four designs on one
+axis:
+
+    V++ upcall (107) < ULTRIX in-kernel (175) < Unix retrofit < V++ IPC (379)
+
+The retrofit beats the IPC manager because an ioctl is cheaper than a
+full IPC round trip, and beats zero-filling kernels on data pages because
+the manager supplies the contents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_system
+from repro.baseline.ultrix_vm import UltrixVM
+from repro.baseline.unix_retrofit import UnixRetrofitVM, retrofit_fault_cost
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+
+N_FAULTS = 64
+
+
+def retrofit_per_fault() -> float:
+    vm = UnixRetrofitVM(PhysicalMemory(16 * 1024 * 1024))
+    vm.create_file("data", data=b"x" * (N_FAULTS * 4096))
+    vm.designate_pagecache_file("data")
+
+    def handler(vm_, space_, name, page):
+        vm_.ioctl_allocate_page(name, page, b"y" * 4096)
+
+    vm.set_file_manager("data", handler)
+    space = vm.create_space(N_FAULTS)
+    vm.map_pagecache_file(space, "data", 0, N_FAULTS)
+    vm.meter.reset()
+    for page in range(N_FAULTS):
+        vm.reference(space, page * 4096)
+    return vm.meter.total_us / N_FAULTS
+
+
+def vpp_per_fault(separate: bool) -> float:
+    system = build_system(memory_mb=16)
+    if separate:
+        manager = system.default_manager
+    else:
+        manager = GenericSegmentManager(
+            system.kernel, system.spcm, "app", initial_frames=N_FAULTS + 8
+        )
+    seg = system.kernel.create_segment(N_FAULTS, manager=manager)
+    system.kernel.meter.reset()
+    for page in range(N_FAULTS):
+        system.kernel.reference(seg, page * 4096, write=True)
+    return system.kernel.meter.total_us / N_FAULTS
+
+
+def ultrix_per_fault() -> float:
+    vm = UltrixVM(PhysicalMemory(16 * 1024 * 1024))
+    space = vm.create_space(N_FAULTS)
+    for page in range(N_FAULTS):
+        vm.reference(space, page * 4096, write=True)
+    return vm.meter.total_us / N_FAULTS
+
+
+def test_retrofit_sits_between_the_vpp_paths(benchmark):
+    def run():
+        return {
+            "vpp_upcall": vpp_per_fault(separate=False),
+            "ultrix": ultrix_per_fault(),
+            "retrofit": retrofit_per_fault(),
+            "vpp_ipc": vpp_per_fault(separate=True),
+        }
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert (
+        costs["vpp_upcall"]
+        < costs["ultrix"]
+        < costs["retrofit"]
+        < costs["vpp_ipc"]
+    )
+    for key, value in costs.items():
+        benchmark.extra_info[f"{key}_us"] = round(value, 1)
+
+
+def test_retrofit_cost_matches_its_decomposition(benchmark):
+    per_fault = benchmark.pedantic(retrofit_per_fault, rounds=3, iterations=1)
+    vm = UnixRetrofitVM(PhysicalMemory(4 * 1024 * 1024))
+    # per-fault cost = retrofit path + the manager's allocation ioctl
+    assert per_fault == pytest.approx(retrofit_fault_cost(vm), abs=1.0)

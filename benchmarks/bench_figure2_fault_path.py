@@ -1,0 +1,34 @@
+"""Figure 2: the page-fault handling sequence with an external manager.
+
+Regenerates the figure's numbered steps (trap -> kernel forwards to
+manager -> manager fetches from the file server -> MigratePages ->
+resume) and checks the latency decomposition: the file-server fetch
+dominates, exactly the paper's observation that "filling the page frame
+tends to dominate the other costs of page fault handling".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import figure2_fault_trace
+
+
+def test_figure2_sequence(benchmark):
+    trace = benchmark.pedantic(figure2_fault_trace, rounds=5, iterations=1)
+    actors = [step.actor for step in trace.steps]
+    assert actors[0] == "application"
+    assert "kernel" in actors
+    assert "file server" in actors
+    assert actors[-1] == "manager"
+    benchmark.extra_info["steps"] = len(trace.steps)
+    benchmark.extra_info["total_us"] = round(trace.total_cost_us, 1)
+
+
+def test_fill_dominates_fault_cost(benchmark):
+    trace = benchmark.pedantic(figure2_fault_trace, rounds=5, iterations=1)
+    fetch_cost = sum(
+        s.cost_us for s in trace.steps if s.actor == "file server"
+    )
+    other_cost = trace.total_cost_us - fetch_cost
+    assert fetch_cost > 10 * other_cost
+    benchmark.extra_info["fetch_us"] = round(fetch_cost, 1)
+    benchmark.extra_info["handling_us"] = round(other_cost, 1)

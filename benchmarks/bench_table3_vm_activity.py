@@ -1,0 +1,54 @@
+"""Table 3: VM system activity and costs.
+
+The instrumented V++ runs must land exactly on the paper's manager-call
+and MigratePages counts, and the manager-overhead column (computed by the
+paper's own formula) within 5%.
+
+Paper:              calls   migrates   overhead
+    diff              379        372      76 ms
+    uncompress        197        195      40 ms
+    latex             250        238      51 ms
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.apps import standard_applications
+from repro.workloads.runner import run_on_vpp
+
+APPS = {app.name: app for app in standard_applications()}
+
+
+@pytest.mark.parametrize("name", list(APPS))
+def test_vm_activity_counts(benchmark, name):
+    app = APPS[name]
+    result = benchmark.pedantic(
+        lambda: run_on_vpp(app), rounds=3, iterations=1
+    )
+    assert result.manager_calls == app.paper_manager_calls
+    assert result.migrate_calls == app.paper_migrate_calls
+    assert result.manager_overhead_ms == pytest.approx(
+        app.paper_overhead_ms, rel=0.05
+    )
+    benchmark.extra_info["manager_calls"] = result.manager_calls
+    benchmark.extra_info["migrate_calls"] = result.migrate_calls
+    benchmark.extra_info["overhead_ms"] = round(result.manager_overhead_ms, 1)
+    benchmark.extra_info["overhead_fraction"] = round(
+        result.overhead_fraction, 4
+    )
+
+
+def test_overhead_is_a_small_fraction_of_runtime(benchmark):
+    """S3.2: 1.9% for diff, 0.63% for uncompress, 0.35% for latex."""
+    quoted = {"diff": 0.019, "uncompress": 0.0063, "latex": 0.0035}
+
+    def fractions():
+        return {
+            name: run_on_vpp(app).overhead_fraction
+            for name, app in APPS.items()
+        }
+
+    measured = benchmark.pedantic(fractions, rounds=1, iterations=1)
+    for name, expected in quoted.items():
+        assert measured[name] == pytest.approx(expected, rel=0.1)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The memory market: drams, savings, and the batch save-then-run cycle.
+
+The SPCM prices memory at D drams per megabyte-second against an income
+of I drams per second (S2.4).  A batch program that cannot afford its
+working set *saves* while swapped out, queries the market for the
+save-vs-run tradeoff, then runs a full-memory timeslice and returns the
+memory when its savings run low.
+
+Run:  python examples/memory_market.py
+"""
+
+from repro import build_system
+from repro.managers import GenericSegmentManager
+from repro.spcm.market import MarketConfig, MemoryMarket
+from repro.spcm.policy import MarketPolicy
+from repro.spcm.spcm import SystemPageCacheManager
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    system = build_system(memory_mb=32)
+    kernel = system.kernel
+    market = MemoryMarket(
+        MarketConfig(
+            price_per_mb_second=1.0,
+            income_per_second=4.0,
+            savings_tax_rate=0.002,
+            savings_tax_threshold=200.0,
+        )
+    )
+    spcm = SystemPageCacheManager(
+        kernel, policy=MarketPolicy(market, min_hold_seconds=2.0), market=market
+    )
+    batch = GenericSegmentManager(kernel, spcm, "batch-job", initial_frames=0)
+    market.demand_outstanding = True  # a busy machine: memory is charged
+
+    working_set_mb = 16.0
+    frames_needed = int(working_set_mb * MB / 4096)
+    timeslice_s = 8.0
+
+    print("== a batch program under the memory market ==")
+    print(f"needs {working_set_mb:.0f} MB for {timeslice_s:.0f} s at "
+          f"{market.config.price_per_mb_second} dram/MB-s; income "
+          f"{market.account('batch-job').income_per_second} drams/s")
+
+    now = 0.0
+    wait = market.seconds_until_affordable(
+        "batch-job", working_set_mb, timeslice_s
+    )
+    print(f"\n[t={now:6.1f}s] balance "
+          f"{market.account('batch-job').balance:7.1f} drams -> must save "
+          f"for {wait:.1f} s (swapped out, near-zero memory)")
+    now += wait
+    spcm.advance_market(now)
+
+    granted = batch.request_frames(frames_needed)
+    print(f"[t={now:6.1f}s] balance "
+          f"{market.account('batch-job').balance:7.1f} drams -> SPCM "
+          f"granted {granted} frames ({granted * 4096 / MB:.0f} MB)")
+
+    horizon = market.affordable_seconds("batch-job", working_set_mb)
+    print(f"[t={now:6.1f}s] market says this holding is affordable for "
+          f"{horizon:.1f} s -- the program can *plan* its timeslice")
+
+    now += timeslice_s
+    spcm.advance_market(now)
+    acct = market.account("batch-job")
+    print(f"[t={now:6.1f}s] after the timeslice: balance "
+          f"{acct.balance:7.1f} drams (paid {acct.total_memory_charges:.1f} "
+          f"for memory)")
+
+    returned = batch.return_frames(granted)
+    print(f"[t={now:6.1f}s] pages out and returns {returned} frames; "
+          f"back to saving")
+
+    # conservation sanity
+    assert abs(market.total_drams()) < 1e-6
+    print("\ndram conservation holds across the whole cycle.")
+
+
+if __name__ == "__main__":
+    main()

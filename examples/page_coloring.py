@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Application-specific page coloring (paper S1).
+
+A physically-addressed direct-mapped cache maps two pages to the same
+lines whenever their frame numbers collide mod the color count.  An
+application that can ask the SPCM for frames *by color* --- possible only
+because `GetPageAttributes` exposes physical addresses --- spreads its hot
+data across the cache; one given arbitrary frames may stack it on a few
+colors.
+
+This example allocates a hot working set both ways and replays the same
+access pattern against the DECstation's 64 KB direct-mapped cache.
+
+Run:  python examples/page_coloring.py
+"""
+
+from repro import build_system
+from repro.hw.cache import PhysicallyIndexedCache
+from repro.managers import ColoringSegmentManager, GenericSegmentManager
+
+HOT_PAGES = 16  # the hot working set: exactly one cache's worth
+
+
+def measure(kernel, segment, sweeps: int = 8) -> float:
+    cache = PhysicallyIndexedCache(64 * 1024, page_size=4096)
+    for _ in range(sweeps):
+        for page in sorted(segment.pages):
+            frame = segment.pages[page]
+            cache.access_page(frame.phys_addr)
+    return cache.stats.miss_rate
+
+
+def adversarial_free_list(system, manager):
+    """Leave the generic manager only same-color frames (a fragmented
+    machine after long uptime does this naturally)."""
+    kernel = system.kernel
+    boot = kernel.initial_segment
+    n_colors = 16
+    manager.return_frames(manager.free_frames)
+    # hand it frames of a single color
+    from repro.spcm.spcm import FrameRequest
+
+    pages = system.spcm.request_frames(
+        manager,
+        FrameRequest(manager.account, HOT_PAGES,
+                     colors=frozenset({5}), n_colors=n_colors),
+        manager.free_segment,
+    )
+    manager._free_slots.extend(pages)
+
+
+def main() -> None:
+    system = build_system(memory_mb=16)
+    kernel = system.kernel
+
+    # --- uncolored: a generic manager with an unlucky free list ----------
+    generic = GenericSegmentManager(
+        kernel, system.spcm, "uncolored", initial_frames=HOT_PAGES
+    )
+    adversarial_free_list(system, generic)
+    plain = kernel.create_segment(HOT_PAGES, name="plain", manager=generic)
+    for page in range(HOT_PAGES):
+        kernel.reference(plain, page * 4096)
+    plain_miss = measure(kernel, plain)
+
+    # --- colored: per-color stocks from the SPCM --------------------------
+    coloring = ColoringSegmentManager(
+        kernel, system.spcm, n_colors=16, frames_per_color=4
+    )
+    colored = kernel.create_segment(HOT_PAGES, name="colored", manager=coloring)
+    for page in range(HOT_PAGES):
+        kernel.reference(colored, page * 4096)
+    colored_miss = measure(kernel, colored)
+
+    print("== 16 hot pages vs a 64 KB direct-mapped physical cache ==")
+    print(f"arbitrary frames  : miss rate {plain_miss * 100:5.1f}%")
+    print(f"colored frames    : miss rate {colored_miss * 100:5.1f}%  "
+          f"(color hits {coloring.color_hits}/{HOT_PAGES})")
+    report = coloring.placement_report(colored)
+    print(f"colored placement : {len(report)} distinct colors used")
+    assert colored_miss < plain_miss
+    print("\ncoloring eliminates the conflict misses the arbitrary "
+          "placement suffers every sweep.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Application-directed read-ahead for a scientific scan (the MP3D case).
+
+The paper's S1 example: a particle simulation scans ~200 MB per time step
+in ~12 seconds, so if the data does not fit in memory there is ample time
+to overlap prefetch and writeback with compute.  This example scans a
+(scaled-down) dataset three ways:
+
+* demand paging        — stall on every fault;
+* application prefetch — the manager fetches N pages ahead of the scan;
+* prefetch + discard   — intermediate (regenerable) dirty pages are
+  dropped instead of written back, halving the I/O demand.
+
+Run:  python examples/scientific_prefetch.py
+"""
+
+from repro import build_system
+from repro.managers import PrefetchingSegmentManager
+
+DATA_PAGES = 192          # the scanned dataset (scaled from 200 MB)
+COMPUTE_PER_PAGE_US = 9_000.0   # compute per page of a time step
+READ_AHEAD = 8            # prefetch depth
+
+
+def make_world():
+    system = build_system(memory_mb=16)
+    manager = PrefetchingSegmentManager(
+        system.kernel,
+        system.spcm,
+        system.file_server,
+        initial_frames=DATA_PAGES + 16,
+        io_service_us=8_000.0,   # one disk, 8 ms per page
+    )
+    data = system.kernel.create_segment(
+        DATA_PAGES, name="particles", manager=manager
+    )
+    system.file_server.create_file(data, data=b"p" * (DATA_PAGES * 4096))
+    return system, manager, data
+
+
+def scan_demand() -> float:
+    _, manager, data = make_world()
+    clock = 0.0
+    for page in range(DATA_PAGES):
+        clock += manager.access(data, page, clock, write=True)
+        clock += COMPUTE_PER_PAGE_US
+    return clock
+
+
+def scan_prefetch(discard_intermediates: bool) -> tuple[float, float]:
+    _, manager, data = make_world()
+    if discard_intermediates:
+        manager.mark_discardable(data)
+    clock = 0.0
+    # prime the pipeline, then keep READ_AHEAD pages in flight
+    for page in range(min(READ_AHEAD, DATA_PAGES)):
+        manager.prefetch(data, page, clock)
+    for page in range(DATA_PAGES):
+        ahead = page + READ_AHEAD
+        if ahead < DATA_PAGES:
+            manager.prefetch(data, ahead, clock)
+        clock += manager.access(data, page, clock, write=True)
+        clock += COMPUTE_PER_PAGE_US
+        # steady-state memory: retire the page we are done with
+        retire = page - READ_AHEAD
+        if retire >= 0:
+            manager.writeback_or_discard(data, retire, clock)
+    return clock, manager.io.utilization(clock)
+
+
+def main() -> None:
+    demand = scan_demand()
+    prefetch, util_wb = scan_prefetch(discard_intermediates=False)
+    discard, util_disc = scan_prefetch(discard_intermediates=True)
+
+    compute_only = DATA_PAGES * COMPUTE_PER_PAGE_US
+    print("== scanning a 768 KB dataset with 8 ms/page disk ==")
+    print(f"pure compute (no I/O)        : {compute_only / 1e6:7.3f} s")
+    print(f"demand paging                : {demand / 1e6:7.3f} s")
+    print(f"prefetch + writeback         : {prefetch / 1e6:7.3f} s "
+          f"(disk {util_wb * 100:.0f}% busy)")
+    print(f"prefetch + discard           : {discard / 1e6:7.3f} s "
+          f"(disk {util_disc * 100:.0f}% busy)")
+    penalty = demand - compute_only
+    hidden = demand - discard
+    print(f"\nwith writeback the single disk saturates (2 I/Os per page), "
+          f"so prefetch alone hides only "
+          f"{100 * (demand - prefetch) / penalty:.0f}% of the paging "
+          f"penalty;")
+    print(f"prefetch plus discarding regenerable intermediates hides "
+          f"{100 * hidden / penalty:.0f}% of it --- conserving I/O "
+          f"bandwidth is half the win (paper S2.2).")
+
+
+if __name__ == "__main__":
+    main()

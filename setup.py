@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so editable installs
+work on environments whose setuptools predates PEP 660 wheel-based
+editables (the offline evaluation box has no `wheel` package).
+"""
+
+from setuptools import setup
+
+setup()

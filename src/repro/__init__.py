@@ -1,0 +1,87 @@
+"""repro: a reproduction of Harty & Cheriton, "Application-Controlled
+Physical Memory using External Page-Cache Management" (ASPLOS 1992).
+
+The library models the V++ external page-cache management system end to
+end: the kernel page-cache operations (:mod:`repro.core`), process-level
+segment managers (:mod:`repro.managers`), the System Page Cache Manager
+and its memory market (:mod:`repro.spcm`), a conventional ULTRIX-style
+baseline (:mod:`repro.baseline`), the simulated hardware they run on
+(:mod:`repro.hw`), a discrete-event engine (:mod:`repro.sim`), the
+database transaction-processing study (:mod:`repro.dbms`), the Unix
+application workloads (:mod:`repro.workloads`), and the experiment
+drivers that regenerate every table and figure in the paper's evaluation
+(:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import build_system
+
+    sys = build_system(memory_mb=32)
+    seg = sys.kernel.create_segment(16, name="data", manager=sys.default_manager)
+    # ... touch pages, watch the manager fill them
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernel import Kernel
+from repro.core.uio import UIO, FileServer
+from repro.hw.costs import DECSTATION_5000_200, CostMeter, MachineCosts
+from repro.hw.disk import Disk
+from repro.hw.phys_mem import PhysicalMemory
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class System:
+    """A booted V++ system: kernel, devices, servers, default manager."""
+
+    memory: PhysicalMemory
+    kernel: Kernel
+    disk: Disk
+    file_server: FileServer
+    uio: UIO
+    spcm: "object"
+    default_manager: "object"
+
+    @property
+    def meter(self) -> CostMeter:
+        return self.kernel.meter
+
+
+def build_system(
+    memory_mb: int = 32,
+    costs: MachineCosts = DECSTATION_5000_200,
+    page_size: int | None = None,
+    manager_frames: int = 1024,
+) -> System:
+    """Boot a complete V++ system the way the paper describes:
+
+    kernel with all frames in the well-known boot segment, a System Page
+    Cache Manager allocating from it, and the default segment manager (the
+    extended UCDS) running as a separate server process.
+    """
+    from repro.managers.default_manager import DefaultSegmentManager
+    from repro.spcm.spcm import SystemPageCacheManager
+
+    psize = page_size if page_size is not None else costs.page_size
+    memory = PhysicalMemory(memory_mb * 1024 * 1024, page_size=psize)
+    kernel = Kernel(memory, costs=costs)
+    disk = Disk(costs, block_size=psize)
+    file_server = FileServer(kernel, disk)
+    uio = UIO(kernel, file_server)
+    spcm = SystemPageCacheManager(kernel)
+    default_manager = DefaultSegmentManager(
+        kernel, spcm, file_server, initial_frames=manager_frames
+    )
+    return System(
+        memory=memory,
+        kernel=kernel,
+        disk=disk,
+        file_server=file_server,
+        uio=uio,
+        spcm=spcm,
+        default_manager=default_manager,
+    )

@@ -1,0 +1,9 @@
+"""``python -m repro`` runs the full evaluation report.
+
+Pass ``--quick`` to shorten the Table-4 simulations.
+"""
+
+from repro.analysis.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""A system-wide consistency auditor (fsck for the VM model).
+
+DESIGN.md's invariants, checked on demand against a live system:
+
+1. **Frame conservation** — every physical frame owned by exactly one
+   segment; none lost, none duplicated.
+2. **Ownership back-references** — each frame's recorded owner/page agree
+   with the segment that actually files it.
+3. **Translation soundness** — every page-table and TLB entry names a
+   frame that currently sits at the claimed (segment-resolvable) page; no
+   cached translation outlives a migration.
+4. **Manager bookkeeping** — a manager's free slots are backed, its empty
+   slots are not, the two sets are disjoint, and its migrate-back cache
+   points only at free slots.
+5. **SPCM pool consistency** — the free pool's pages are exactly the boot
+   segment's resident pages.
+
+``audit`` returns a report; every finding names the invariant and the
+offending object, so a failing property test or long simulation can be
+triaged immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.kernel import Kernel
+from repro.errors import MigrationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.managers.base import GenericSegmentManager
+    from repro.spcm.spcm import SystemPageCacheManager
+
+
+@dataclass
+class AuditReport:
+    """Findings of one audit run (empty = consistent)."""
+
+    findings: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, invariant: str, detail: str) -> None:
+        """Record one violation."""
+        self.findings.append(f"[{invariant}] {detail}")
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`MigrationError` listing every finding."""
+        if self.findings:
+            raise MigrationError(
+                "audit failed:\n  " + "\n  ".join(self.findings)
+            )
+
+
+def audit_kernel(kernel: Kernel, report: AuditReport | None = None) -> AuditReport:
+    """Check invariants 1-3 on a kernel."""
+    report = report if report is not None else AuditReport()
+
+    # 1. frame conservation
+    report.checks_run += 1
+    census: dict[int, tuple[int, int]] = {}
+    for segment in kernel.segments():
+        for page, frame in segment.pages.items():
+            if frame.pfn in census:
+                other = census[frame.pfn]
+                report.add(
+                    "conservation",
+                    f"frame {frame.pfn} owned by segment {other[0]} page "
+                    f"{other[1]} AND segment {segment.seg_id} page {page}",
+                )
+            census[frame.pfn] = (segment.seg_id, page)
+    for frame in kernel.memory.frames():
+        if frame.pfn not in census:
+            report.add("conservation", f"frame {frame.pfn} owned by nobody")
+
+    # 2. ownership back-references
+    report.checks_run += 1
+    for segment in kernel.segments():
+        for page, frame in segment.pages.items():
+            if frame.owner_segment_id != segment.seg_id:
+                report.add(
+                    "backref",
+                    f"frame {frame.pfn} filed in segment "
+                    f"{segment.seg_id} but records owner "
+                    f"{frame.owner_segment_id}",
+                )
+            if frame.page_index != page:
+                report.add(
+                    "backref",
+                    f"frame {frame.pfn} filed at page {page} but records "
+                    f"page {frame.page_index}",
+                )
+
+    # 3. translation soundness
+    report.checks_run += 1
+    segments = {s.seg_id: s for s in kernel.segments()}
+
+    def check_translation(where: str, space_id: int, vpn: int, pfn: int):
+        space = segments.get(space_id)
+        if space is None:
+            report.add(
+                "translation",
+                f"{where} entry for dead space {space_id} vpn {vpn}",
+            )
+            return
+        try:
+            resolved = space.resolve(vpn)
+        except Exception as exc:  # resolution itself must not fail
+            report.add(
+                "translation",
+                f"{where} entry ({space_id}, {vpn}) fails to resolve: {exc}",
+            )
+            return
+        if resolved.frame is None or resolved.frame.pfn != pfn:
+            report.add(
+                "translation",
+                f"{where} entry ({space_id}, {vpn}) -> pfn {pfn} but the "
+                "segment walk finds "
+                + (
+                    f"pfn {resolved.frame.pfn}"
+                    if resolved.frame is not None
+                    else "no frame"
+                ),
+            )
+
+    for entry in kernel.page_table.entries():
+        check_translation("page-table", entry.space_id, entry.vpn, entry.pfn)
+    for (space_id, vpn), payload in kernel.tlb._entries.items():
+        pfn = payload[0] if isinstance(payload, tuple) else payload
+        check_translation("tlb", space_id, vpn, int(pfn))
+    return report
+
+
+def audit_manager(
+    manager: "GenericSegmentManager", report: AuditReport | None = None
+) -> AuditReport:
+    """Check invariant 4 on one generic segment manager."""
+    report = report if report is not None else AuditReport()
+    report.checks_run += 1
+    free = set(manager._free_slots)
+    empty = set(manager._empty_slots)
+    if free & empty:
+        report.add(
+            "manager",
+            f"{manager.name}: slots both free and empty: {free & empty}",
+        )
+    for slot in free:
+        if slot not in manager.free_segment.pages:
+            report.add(
+                "manager", f"{manager.name}: free slot {slot} has no frame"
+            )
+    for slot in empty:
+        if slot in manager.free_segment.pages:
+            report.add(
+                "manager",
+                f"{manager.name}: empty slot {slot} still holds a frame",
+            )
+    for slot, origin in manager._stale_origin.items():
+        if slot not in free:
+            report.add(
+                "manager",
+                f"{manager.name}: migrate-back cache names slot {slot} "
+                "which is not free",
+            )
+        if manager._stale_slot.get(origin) != slot:
+            report.add(
+                "manager",
+                f"{manager.name}: migrate-back maps disagree at {origin}",
+            )
+    return report
+
+
+def audit_spcm(
+    spcm: "SystemPageCacheManager", report: AuditReport | None = None
+) -> AuditReport:
+    """Check invariant 5 on the SPCM's free pools."""
+    report = report if report is not None else AuditReport()
+    report.checks_run += 1
+    for size, free_pages in spcm._free.items():
+        boot = spcm.kernel.boot_segments[size]
+        pool = set(free_pages)
+        resident = set(boot.pages)
+        if pool != resident:
+            missing = sorted(pool - resident)[:5]
+            extra = sorted(resident - pool)[:5]
+            report.add(
+                "spcm",
+                f"pool({size}) != boot residency; pool-only={missing} "
+                f"boot-only={extra}",
+            )
+        if sorted(free_pages) != free_pages:
+            report.add("spcm", f"pool({size}) is not sorted")
+    return report
+
+
+def audit_system(system) -> AuditReport:
+    """Audit a :func:`repro.build_system` world end to end."""
+    report = AuditReport()
+    audit_kernel(system.kernel, report)
+    audit_manager(system.default_manager, report)
+    audit_spcm(system.spcm, report)
+    return report

@@ -1,0 +1,149 @@
+"""Run the full evaluation and print paper-vs-measured for everything.
+
+Usage::
+
+    python -m repro.analysis.report [--quick]
+
+``--quick`` shortens the Table-4 runs (for smoke testing).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.experiments import (
+    figure1_address_space,
+    figure2_fault_trace,
+    table1_primitives,
+    table2_and_3_applications,
+    table4_paper_targets,
+    table4_transactions,
+)
+from repro.analysis.tables import format_table
+
+
+def render_table1() -> str:
+    """Table 1 as paper-vs-measured text."""
+    rows = [
+        (r.name, f"{r.measured:.0f}", f"{r.paper:.0f}", f"{r.relative_error * 100:.1f}%")
+        for r in table1_primitives()
+    ]
+    return format_table(
+        "Table 1: System Primitive Times (microseconds)",
+        ("measurement", "measured", "paper", "error"),
+        rows,
+    )
+
+
+def render_tables2_and_3() -> tuple[str, str]:
+    """Tables 2 and 3 as paper-vs-measured text."""
+    comparisons = table2_and_3_applications()
+    t2_rows = []
+    t3_rows = []
+    for c in comparisons:
+        t2_rows.append(
+            (
+                c.app,
+                f"{c.vpp.elapsed_s:.2f}",
+                f"{c.paper_vpp_s:.2f}",
+                f"{c.ultrix.elapsed_s:.2f}",
+                f"{c.paper_ultrix_s:.2f}",
+            )
+        )
+        t3_rows.append(
+            (
+                c.app,
+                f"{c.vpp.manager_calls}",
+                f"{c.paper_manager_calls}",
+                f"{c.vpp.migrate_calls}",
+                f"{c.paper_migrate_calls}",
+                f"{c.vpp.manager_overhead_ms:.0f}",
+                f"{c.paper_overhead_ms:.0f}",
+                f"{c.vpp.overhead_fraction * 100:.2f}%",
+            )
+        )
+    t2 = format_table(
+        "Table 2: Application Elapsed Time (seconds)",
+        ("program", "V++", "paper", "Ultrix", "paper"),
+        t2_rows,
+    )
+    t3 = format_table(
+        "Table 3: VM System Activity and Costs",
+        (
+            "program",
+            "mgr calls",
+            "paper",
+            "migrates",
+            "paper",
+            "ovh(ms)",
+            "paper",
+            "ovh frac",
+        ),
+        t3_rows,
+    )
+    return t2, t3
+
+
+def render_table4(duration_s: float) -> str:
+    """Table 4 as paper-vs-measured text."""
+    targets = table4_paper_targets()
+    rows = []
+    for result in table4_transactions(duration_s=duration_s):
+        paper_avg, paper_worst = targets[result.config.policy]
+        rows.append(
+            (
+                result.label,
+                f"{result.avg_response_ms:.0f}",
+                f"{paper_avg:.0f}",
+                f"{result.worst_response_ms:.0f}",
+                f"{paper_worst:.0f}",
+            )
+        )
+    return format_table(
+        "Table 4: Effect of Memory Usage on Transaction Response (ms)",
+        ("configuration", "avg", "paper", "worst", "paper"),
+        rows,
+        caption=f"(duration {duration_s:.0f}s, 40 TPS, 6 CPUs)",
+    )
+
+
+def render_figures() -> str:
+    """Figures 1 and 2, reconstructed."""
+    trace = figure2_fault_trace()
+    return "\n".join(
+        [
+            "Figure 1: Kernel Implementation of a Virtual Address Space",
+            "-" * 60,
+            figure1_address_space(),
+            "",
+            "Figure 2: Page Fault Handling with External Page-Cache Management",
+            "-" * 60,
+            trace.render(),
+            f"  total: {trace.total_cost_us:.0f} us",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Print the whole evaluation; ``--quick`` shortens Table 4."""
+    args = argv if argv is not None else sys.argv[1:]
+    duration = 30.0 if "--quick" in args else 120.0
+    print(render_table1())
+    print()
+    t2, t3 = render_tables2_and_3()
+    print(t2)
+    print()
+    print(t3)
+    print()
+    print(render_table4(duration))
+    print()
+    print(render_figures())
+    print()
+    from repro.analysis.complexity import render_split
+
+    print(render_split())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Parameter sweeps over the transaction-processing simulator.
+
+The paper reports Table 4 at one operating point (40 TPS, 11 ms fault
+service, eviction every 500 transactions).  These sweeps trace the curves
+*through* that point --- response versus load, fault-service sensitivity,
+eviction-period sensitivity --- the figures the paper could have drawn.
+Each sweep returns plain data points; :func:`render_series` prints them as
+an ASCII chart for the report and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.dbms.simulator import TPConfig, run_tp_experiment
+from repro.dbms.transactions import IndexPolicy
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (x, outcome) sample of a sweep."""
+
+    x: float
+    avg_response_ms: float
+    worst_response_ms: float
+    cpu_utilization: float
+
+
+def _run(config: TPConfig, x: float) -> SweepPoint:
+    result = run_tp_experiment(config)
+    return SweepPoint(
+        x=x,
+        avg_response_ms=result.avg_response_ms,
+        worst_response_ms=result.worst_response_ms,
+        cpu_utilization=result.extra.get("cpu_utilization", 0.0),
+    )
+
+
+def sweep_arrival_rate(
+    policy: IndexPolicy,
+    tps_values: Sequence[float],
+    duration_s: float = 40.0,
+    seed: int = 1992,
+) -> list[SweepPoint]:
+    """Response versus offered load (the classic queueing curve)."""
+    base = TPConfig(
+        policy=policy,
+        duration_s=duration_s,
+        warmup_s=min(10.0, duration_s / 4),
+        seed=seed,
+    )
+    return [
+        _run(replace(base, arrival_tps=tps), tps) for tps in tps_values
+    ]
+
+
+def sweep_fault_service(
+    fault_us_values: Sequence[float],
+    duration_s: float = 40.0,
+    seed: int = 1992,
+) -> list[SweepPoint]:
+    """Paging-configuration sensitivity to the fault-service time ---
+    how the Table-4 paging row would move on faster/slower disks."""
+    base = TPConfig(
+        policy=IndexPolicy.PAGING,
+        duration_s=duration_s,
+        warmup_s=min(10.0, duration_s / 4),
+        seed=seed,
+    )
+    return [
+        _run(replace(base, page_fault_us=us), us) for us in fault_us_values
+    ]
+
+
+def sweep_eviction_period(
+    period_values: Sequence[int],
+    duration_s: float = 40.0,
+    seed: int = 1992,
+) -> list[SweepPoint]:
+    """Paging-configuration sensitivity to how often the index is paged
+    out ("every 500 transactions" in the paper)."""
+    base = TPConfig(
+        policy=IndexPolicy.PAGING,
+        duration_s=duration_s,
+        warmup_s=min(10.0, duration_s / 4),
+        seed=seed,
+    )
+    return [
+        _run(replace(base, eviction_period_txns=period), float(period))
+        for period in period_values
+    ]
+
+
+def render_series(
+    title: str,
+    points: Sequence[SweepPoint],
+    x_label: str = "x",
+    width: int = 40,
+) -> str:
+    """An ASCII chart of avg response versus the sweep variable."""
+    if not points:
+        return f"{title}\n  (no points)"
+    peak = max(p.avg_response_ms for p in points) or 1.0
+    lines = [title, "-" * (width + 28)]
+    for p in points:
+        bar = "#" * max(1, int(p.avg_response_ms / peak * width))
+        lines.append(
+            f"  {x_label}={p.x:>8.1f}  {p.avg_response_ms:>8.0f} ms  {bar}"
+        )
+    lines.append("-" * (width + 28))
+    return "\n".join(lines)

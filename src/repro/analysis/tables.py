@@ -1,0 +1,40 @@
+"""Paper-style ASCII table rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str = "",
+) -> str:
+    """Render a simple aligned table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        )
+
+    rule = "-" * len(line(headers))
+    out = [title, rule, line(headers), rule]
+    out.extend(line(row) for row in cells)
+    out.append(rule)
+    if caption:
+        out.append(caption)
+    return "\n".join(out)
+
+
+def ratio(measured: float, paper: float) -> str:
+    """measured/paper as a compact string ('-' when paper is zero)."""
+    if paper == 0:
+        return "-"
+    return f"{measured / paper:.2f}x"

@@ -1,0 +1,13 @@
+"""The conventional comparator: an ULTRIX 4.1-style virtual memory system.
+
+Everything the paper moves out of the kernel stays *in* the kernel here:
+fault handling, page allocation (with mandatory zero-fill), replacement,
+writeback.  Applications get the transparent interface --- plus the
+limited escape hatches ULTRIX actually offered: ``mprotect`` + signals for
+user-level fault handling (the Appel-Li pattern), ``mpin`` with a quota,
+and an advisory ``madvise`` that mostly cannot help (S4).
+"""
+
+from repro.baseline.ultrix_vm import UltrixFile, UltrixSpace, UltrixVM
+
+__all__ = ["UltrixFile", "UltrixSpace", "UltrixVM"]

@@ -1,0 +1,76 @@
+"""Page fault descriptions and the fault-path trace.
+
+When a reference cannot be satisfied from the kernel's translation
+structures, the kernel packages a :class:`PageFault` and forwards it to the
+segment's manager (paper, Figure 2).  :class:`FaultTrace` records the
+numbered steps of that figure so the reproduction can regenerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class FaultKind(Enum):
+    """Why the reference could not be satisfied."""
+
+    MISSING_PAGE = auto()     # no frame at the resolved segment page
+    PROTECTION = auto()       # frame present, access exceeds protections
+    COPY_ON_WRITE = auto()    # write to a page still bound to a COW source
+
+
+@dataclass(frozen=True)
+class PageFault:
+    """One fault event delivered to a segment manager."""
+
+    segment_id: int            # segment whose page is missing/protected
+    page: int                  # page index within that segment
+    kind: FaultKind
+    write: bool                # was the faulting access a write?
+    space_id: int | None = None   # faulting address space, if via mapping
+    vaddr: int | None = None      # faulting virtual address, if via mapping
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering of the fault."""
+        access = "write" if self.write else "read"
+        return (
+            f"{self.kind.name} fault: {access} of page {self.page} in "
+            f"segment {self.segment_id}"
+        )
+
+
+@dataclass
+class TraceStep:
+    """One numbered step in the Figure-2 fault-handling sequence."""
+
+    step: int
+    actor: str       # "application" | "kernel" | "manager" | "file server"
+    action: str
+    cost_us: float = 0.0
+
+
+@dataclass
+class FaultTrace:
+    """Collects the steps of one fault handling (Figure 2)."""
+
+    steps: list[TraceStep] = field(default_factory=list)
+
+    def add(self, actor: str, action: str, cost_us: float = 0.0) -> None:
+        """Append the next numbered step."""
+        self.steps.append(
+            TraceStep(len(self.steps) + 1, actor, action, cost_us)
+        )
+
+    @property
+    def total_cost_us(self) -> float:
+        return sum(s.cost_us for s in self.steps)
+
+    def render(self) -> str:
+        """The trace as numbered lines, Figure-2 style."""
+        lines = [
+            f"  {s.step}. [{s.actor}] {s.action}"
+            + (f"  ({s.cost_us:.0f} us)" if s.cost_us else "")
+            for s in self.steps
+        ]
+        return "\n".join(lines)

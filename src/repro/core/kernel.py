@@ -1,0 +1,692 @@
+"""The V++ kernel model: external page-cache management.
+
+The kernel owns the hardware translation structures (global hash page
+table and TLB), the segment registry, and the four operations the paper
+adds over a conventional VM interface (S2.1):
+
+* :meth:`Kernel.set_segment_manager` — ``SetSegmentManager(seg, manager)``
+* :meth:`Kernel.migrate_pages` — ``MigratePages(src, dst, ...)``
+* :meth:`Kernel.modify_page_flags` — ``ModifyPageFlags(seg, ...)``
+* :meth:`Kernel.get_page_attributes` — ``GetPageAttributes(seg, ...)``
+
+The kernel does **no** page reclamation and **no** writeback; faults it
+cannot satisfy from its translation structures are forwarded to the
+segment's process-level manager, following the Figure-2 sequence.  On boot
+every page frame is placed, in physical-address order, in a well-known
+segment from which the System Page Cache Manager hands frames out.
+
+All code paths charge the kernel's :class:`~repro.hw.costs.CostMeter`, so
+an experiment can read both elapsed cost and its decomposition.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.core.faults import FaultKind, FaultTrace, PageFault
+from repro.core.flags import MANAGER_SETTABLE, PageFlags
+from repro.core.manager_api import InvocationMode, SegmentManager
+from repro.core.segment import ResolvedPage, Segment
+from repro.errors import (
+    MigrationError,
+    NoManagerError,
+    ProtectionError,
+    SegmentError,
+    UnresolvedFaultError,
+)
+from repro.hw.costs import DECSTATION_5000_200, CostMeter, MachineCosts
+from repro.hw.page_table import GlobalHashPageTable, Translation
+from repro.hw.phys_mem import PageFrame, PhysicalMemory
+from repro.hw.tlb import TLB
+
+#: Maximum times a single reference retries after fault handling before the
+#: kernel declares the fault unresolvable.
+MAX_FAULT_RETRIES = 8
+
+
+@dataclass(frozen=True)
+class PageAttribute:
+    """One entry of a ``GetPageAttributes`` result."""
+
+    page: int
+    present: bool
+    flags: PageFlags
+    pfn: int | None
+    phys_addr: int | None
+
+
+@dataclass
+class KernelStats:
+    """Counters the evaluation section reads."""
+
+    references: int = 0
+    faults: int = 0
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
+    migrate_calls: int = 0
+    pages_migrated: int = 0
+    modify_flags_calls: int = 0
+    get_attributes_calls: int = 0
+    set_manager_calls: int = 0
+    zero_fills: int = 0
+    cow_copies: int = 0
+    #: manager invocations by manager name (Table 3, column 1)
+    manager_calls: dict[str, int] = field(default_factory=dict)
+    #: MigratePages invocations by calling manager name (Table 3, column 2)
+    migrate_calls_by_manager: dict[str, int] = field(default_factory=dict)
+
+    def note_manager_call(self, manager_name: str) -> None:
+        """Count one request forwarded to ``manager_name``."""
+        self.manager_calls[manager_name] = (
+            self.manager_calls.get(manager_name, 0) + 1
+        )
+
+    def note_migrate(self, manager_name: str | None) -> None:
+        """Count one MigratePages invocation by ``manager_name``."""
+        if manager_name is not None:
+            self.migrate_calls_by_manager[manager_name] = (
+                self.migrate_calls_by_manager.get(manager_name, 0) + 1
+            )
+
+
+class Kernel:
+    """The V++ kernel: segments, translation, fault forwarding."""
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        costs: MachineCosts = DECSTATION_5000_200,
+        meter: CostMeter | None = None,
+        tlb: TLB | None = None,
+        page_table: GlobalHashPageTable | None = None,
+    ) -> None:
+        self.memory = memory
+        self.costs = costs
+        self.meter = meter if meter is not None else CostMeter()
+        self.tlb = tlb if tlb is not None else TLB()
+        self.page_table = (
+            page_table if page_table is not None else GlobalHashPageTable()
+        )
+        self.stats = KernelStats()
+        #: when set, fault handling appends Figure-2 style steps here
+        self.trace: FaultTrace | None = None
+        self._segments: dict[int, Segment] = {}
+        self._next_seg_id = 0
+        # pfn -> {(space_id, vpn)} reverse map for translation shootdown
+        self._frame_translations: dict[int, set[tuple[int, int]]] = {}
+        # who is invoking kernel operations (Table 3 counts MigratePages
+        # calls per invoking module); innermost attribution wins
+        self._attribution: list[str] = []
+        # Boot: one well-known segment per frame size, all frames in
+        # physical-address order (paper, S2.1).
+        self.boot_segments: dict[int, Segment] = {}
+        for frame in memory.frames():
+            boot = self.boot_segments.get(frame.page_size)
+            if boot is None:
+                boot = self.create_segment(
+                    0,
+                    page_size=frame.page_size,
+                    name=f"physmem-{frame.page_size}",
+                    auto_grow=True,
+                )
+                self.boot_segments[frame.page_size] = boot
+            page = boot.n_pages
+            boot.grow(1)
+            boot.pages[page] = frame
+            frame.owner_segment_id = boot.seg_id
+            frame.page_index = page
+            frame.flags = int(PageFlags.READ | PageFlags.WRITE)
+        self.initial_segment = self.boot_segments.get(
+            memory.page_size,
+            next(iter(self.boot_segments.values()), None),  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # segment lifecycle
+    # ------------------------------------------------------------------
+
+    def create_segment(
+        self,
+        n_pages: int,
+        page_size: int | None = None,
+        name: str = "",
+        manager: SegmentManager | None = None,
+        prot: PageFlags = PageFlags.READ | PageFlags.WRITE,
+        cow_source: Segment | None = None,
+        auto_grow: bool = False,
+    ) -> Segment:
+        """Create a segment; optionally COW-sourced, optionally managed."""
+        size = page_size if page_size is not None else self.memory.page_size
+        if cow_source is not None and cow_source.page_size != size:
+            raise SegmentError("COW source must share the page size")
+        segment = Segment(
+            self._next_seg_id,
+            n_pages,
+            size,
+            name=name,
+            prot=prot,
+            cow_source=cow_source,
+            auto_grow=auto_grow,
+        )
+        self._next_seg_id += 1
+        self._segments[segment.seg_id] = segment
+        if manager is not None:
+            self.set_segment_manager(segment, manager)
+        return segment
+
+    def segment(self, seg_id: int) -> Segment:
+        """The segment with ``seg_id`` (raises for unknown ids)."""
+        try:
+            return self._segments[seg_id]
+        except KeyError:
+            raise SegmentError(f"no such segment: {seg_id}") from None
+
+    def segments(self) -> list[Segment]:
+        """All live segments."""
+        return list(self._segments.values())
+
+    def delete_segment(self, segment: Segment) -> None:
+        """Delete a segment: notify the manager, sweep leftover frames.
+
+        The manager "is informed when a segment it manages is closed or
+        deleted, so that it can reclaim the segment page frames at that
+        time" (S2.2).  Frames the manager leaves behind are swept back to
+        the boot segment by the kernel.
+        """
+        if segment.deleted:
+            raise SegmentError(f"segment {segment.name} already deleted")
+        for other in self._segments.values():
+            if other is segment:
+                continue
+            if any(b.target is segment for b in other.bindings):
+                raise SegmentError(
+                    f"segment {segment.name} is bound into {other.name}; "
+                    "unbind before deleting"
+                )
+            if other.cow_source is segment:
+                raise SegmentError(
+                    f"segment {segment.name} is the COW source of "
+                    f"{other.name}; delete that first"
+                )
+        if segment.manager is not None:
+            self.stats.note_manager_call(segment.manager.name)
+            segment.manager.segment_deleted(segment)
+            segment.manager.managed.discard(segment.seg_id)
+        if segment.pages:
+            boot = self.boot_segments[segment.page_size]
+            for page in sorted(segment.pages):
+                dst = boot.n_pages
+                boot.grow(1)
+                self.migrate_pages(segment, boot, page, dst, 1)
+        segment.deleted = True
+        del self._segments[segment.seg_id]
+        self.tlb.flush_space(segment.seg_id)
+        self.page_table.remove_space(segment.seg_id)
+
+    # ------------------------------------------------------------------
+    # the four external page-cache management operations
+    # ------------------------------------------------------------------
+
+    def set_segment_manager(
+        self, segment: Segment, manager: SegmentManager
+    ) -> None:
+        """``SetSegmentManager(seg, manager)``."""
+        self.meter.charge("set_manager", self.costs.vpp_set_manager_call)
+        self.stats.set_manager_calls += 1
+        if segment.manager is not None:
+            segment.manager.managed.discard(segment.seg_id)
+        segment.manager = manager
+        manager.managed.add(segment.seg_id)
+
+    def migrate_pages(
+        self,
+        src: Segment,
+        dst: Segment,
+        src_page: int,
+        dst_page: int,
+        n_pages: int = 1,
+        set_flags: PageFlags = PageFlags.NONE,
+        clear_flags: PageFlags = PageFlags.NONE,
+    ) -> list[PageFrame]:
+        """``MigratePages``: move frames from ``src`` to ``dst``.
+
+        Migration is the *only* way frames change segments, which is what
+        makes the frame-conservation invariant checkable.  Migrating into a
+        segment is a write for protection/COW purposes (S2.1): the
+        destination must be writable, and a frame arriving at a page still
+        shared with a COW source receives a copy of the source data.
+        Frames flagged ``ZERO_FILL`` are zeroed in transit (the
+        "given to another user" case).
+
+        Bound regions are honored on both sides: "The MigratePages
+        operation operates on the page frames in bound regions by
+        operating on the associated segments" (S2.1) --- migrating a
+        frame to a VAS address range covered by a binding effectively
+        migrates it to the bound segment.  The whole page range must lie
+        within one binding (or none).
+        """
+        src, src_page = self._through_bindings(src, src_page, n_pages)
+        dst, dst_page = self._through_bindings(
+            dst, dst_page, n_pages, allow_grow=True
+        )
+        self.meter.charge("migrate_pages", self.costs.vpp_migrate_call)
+        self.stats.migrate_calls += 1
+        self.stats.note_migrate(
+            self._attribution[-1] if self._attribution else None
+        )
+        if src.page_size != dst.page_size:
+            raise MigrationError(
+                f"page size mismatch: {src.page_size} vs {dst.page_size}"
+            )
+        if PageFlags.WRITE not in dst.prot:
+            raise ProtectionError(
+                f"migration into read-only segment {dst.name}"
+            )
+        unsupported = int(set_flags | clear_flags) & ~int(MANAGER_SETTABLE)
+        if unsupported:
+            raise MigrationError(
+                f"flags not manager-settable: {unsupported:#x}"
+            )
+        src.check_page_range(src_page, n_pages)
+        if dst.auto_grow:
+            dst.ensure_size(dst_page + n_pages)
+        dst.check_page_range(dst_page, n_pages)
+        # validate the whole range before mutating anything
+        for i in range(n_pages):
+            if src_page + i not in src.pages:
+                raise MigrationError(
+                    f"source page {src_page + i} of {src.name} has no frame"
+                )
+            if dst_page + i in dst.pages:
+                raise MigrationError(
+                    f"destination page {dst_page + i} of {dst.name} is "
+                    "already backed"
+                )
+        moved: list[PageFrame] = []
+        for i in range(n_pages):
+            frame = src.pages.pop(src_page + i)
+            self._invalidate_frame_translations(frame)
+            if PageFlags.ZERO_FILL & PageFlags(frame.flags):
+                frame.zero()
+                frame.flags &= ~int(PageFlags.ZERO_FILL)
+                self.meter.charge("zero_fill", self.costs.zero_page)
+                self.stats.zero_fills += 1
+            frame.flags = int(
+                (PageFlags(frame.flags) | set_flags) & ~clear_flags
+            )
+            # COW privatization: the arriving frame takes a copy of the
+            # still-shared source page ("the kernel performs the copy after
+            # the manager has allocated a page", S2.1).
+            if dst.cow_source is not None and (dst_page + i) not in dst.pages:
+                source_res = (
+                    dst.cow_source.resolve(dst_page + i)
+                    if dst_page + i < dst.cow_source.n_pages
+                    else None
+                )
+                if source_res is not None and source_res.frame is not None:
+                    frame.copy_from(source_res.frame)
+                    frame.flags |= int(PageFlags.DIRTY)
+                    self.meter.charge("cow_copy", self.costs.copy_page)
+                    self.stats.cow_copies += 1
+            dst.pages[dst_page + i] = frame
+            frame.owner_segment_id = dst.seg_id
+            frame.page_index = dst_page + i
+            moved.append(frame)
+        self.stats.pages_migrated += n_pages
+        if self.trace is not None:
+            self.trace.add(
+                "kernel",
+                f"MigratePages: {n_pages} frame(s) {src.name} -> {dst.name}"
+                f" page {dst_page}",
+                self.costs.vpp_migrate_call,
+            )
+        return moved
+
+    def modify_page_flags(
+        self,
+        segment: Segment,
+        page: int,
+        n_pages: int = 1,
+        set_flags: PageFlags = PageFlags.NONE,
+        clear_flags: PageFlags = PageFlags.NONE,
+    ) -> int:
+        """``ModifyPageFlags``: flag changes without migration.
+
+        Returns the number of present pages modified.  Reducing protection
+        shoots down any cached translations so the next access re-enters
+        the kernel --- this is how a manager arranges to see references
+        (the clock algorithm) or writes.
+        """
+        self.meter.charge("modify_flags", self.costs.vpp_modify_flags_call)
+        self.stats.modify_flags_calls += 1
+        unsupported = int(set_flags | clear_flags) & ~int(MANAGER_SETTABLE)
+        if unsupported:
+            raise SegmentError(
+                f"flags not manager-settable: {unsupported:#x}"
+            )
+        segment.check_page_range(page, n_pages)
+        modified = 0
+        lowers_access = bool(
+            clear_flags
+            & (PageFlags.READ | PageFlags.WRITE | PageFlags.REFERENCED)
+        )
+        for i in range(n_pages):
+            frame = segment.pages.get(page + i)
+            if frame is None:
+                continue
+            frame.flags = int(
+                (PageFlags(frame.flags) | set_flags) & ~clear_flags
+            )
+            if lowers_access:
+                self._invalidate_frame_translations(frame)
+            modified += 1
+        return modified
+
+    def get_page_attributes(
+        self, segment: Segment, page: int, n_pages: int = 1
+    ) -> list[PageAttribute]:
+        """``GetPageAttributes``: flags plus physical frame addresses.
+
+        Exposing the physical address is deliberate --- it is what lets an
+        application implement page coloring and physical placement (S1).
+        """
+        self.meter.charge("get_attributes", self.costs.vpp_get_attributes_call)
+        self.stats.get_attributes_calls += 1
+        segment.check_page_range(page, n_pages)
+        result = []
+        for i in range(n_pages):
+            frame = segment.pages.get(page + i)
+            if frame is None:
+                result.append(
+                    PageAttribute(page + i, False, PageFlags.NONE, None, None)
+                )
+            else:
+                result.append(
+                    PageAttribute(
+                        page + i,
+                        True,
+                        PageFlags(frame.flags),
+                        frame.pfn,
+                        frame.phys_addr,
+                    )
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # memory references and fault handling
+    # ------------------------------------------------------------------
+
+    def reference(
+        self, space: Segment, vaddr: int, write: bool = False
+    ) -> PageFrame:
+        """One CPU reference to ``vaddr`` in address space ``space``.
+
+        Follows the hardware path: TLB, then the global hash page table
+        (a kernel software refill), then the full segment-structure walk,
+        faulting to the responsible segment manager as needed.  Dirty
+        tracking uses the classic write-protect-until-first-store scheme,
+        so managers reading DIRTY via ``GetPageAttributes`` see exact
+        information.
+        """
+        self.stats.references += 1
+        if vaddr < 0 or vaddr >= space.size_bytes:
+            raise SegmentError(
+                f"address {vaddr:#x} outside space {space.name}"
+            )
+        vpn = vaddr // space.page_size
+        payload = self.tlb.lookup(space.seg_id, vpn)
+        if payload is not None:
+            pfn, writable = payload  # type: ignore[misc]
+            if not write or writable:
+                return self.memory.frame(pfn)
+        entry = self.page_table.lookup(space.seg_id, vpn)
+        if entry is not None and (not write or PageFlags.WRITE in PageFlags(entry.prot)):
+            self.meter.charge("tlb_refill", self.costs.tlb_refill)
+            self.tlb.insert(
+                space.seg_id,
+                vpn,
+                (entry.pfn, bool(PageFlags.WRITE in PageFlags(entry.prot))),
+            )
+            return self.memory.frame(entry.pfn)
+        return self._slow_reference(space, vpn, write)
+
+    def _slow_reference(self, space: Segment, vpn: int, write: bool) -> PageFrame:
+        """Full segment walk with fault dispatch and retry."""
+        self.meter.charge("trap", self.costs.trap_entry_exit)
+        if self.trace is not None:
+            access = "write" if write else "read"
+            self.trace.add(
+                "application",
+                f"{access} of page {vpn} traps to kernel",
+                self.costs.trap_entry_exit,
+            )
+        for attempt in range(MAX_FAULT_RETRIES + 1):
+            res = space.resolve(vpn, for_write=write)
+            fault = self._fault_from_resolution(space, vpn, write, res)
+            if fault is None:
+                assert res.frame is not None
+                return self._install_and_touch(
+                    space, vpn, res, write, post_fault=attempt > 0
+                )
+            if attempt == MAX_FAULT_RETRIES:
+                break
+            self.dispatch_fault(fault)
+        raise UnresolvedFaultError(
+            f"fault on page {vpn} of {space.name} persisted after "
+            f"{MAX_FAULT_RETRIES} manager invocations"
+        )
+
+    def _fault_from_resolution(
+        self, space: Segment, vpn: int, write: bool, res: ResolvedPage
+    ) -> PageFault | None:
+        """Classify a resolution outcome; ``None`` means access is fine."""
+        if res.needs_cow:
+            return PageFault(
+                res.owner.seg_id,
+                res.page,
+                FaultKind.COPY_ON_WRITE,
+                write=True,
+                space_id=space.seg_id,
+                vaddr=vpn * space.page_size,
+            )
+        if res.frame is None:
+            return PageFault(
+                res.owner.seg_id,
+                res.page,
+                FaultKind.MISSING_PAGE,
+                write=write,
+                space_id=space.seg_id,
+                vaddr=vpn * space.page_size,
+            )
+        needed = PageFlags.WRITE if write else PageFlags.READ
+        if needed not in res.prot:
+            return PageFault(
+                res.owner.seg_id,
+                res.page,
+                FaultKind.PROTECTION,
+                write=write,
+                space_id=space.seg_id,
+                vaddr=vpn * space.page_size,
+            )
+        return None
+
+    def _install_and_touch(
+        self,
+        space: Segment,
+        vpn: int,
+        res: ResolvedPage,
+        write: bool,
+        post_fault: bool,
+    ) -> PageFrame:
+        """Install a translation and set REFERENCED/DIRTY.
+
+        A translation is installed writable only once the page is dirty,
+        so the first store to a clean page re-enters the kernel (cheap)
+        and dirties it --- exact dirty information for managers.  The
+        mapping-update cost after a fault is part of ``MigratePages``
+        ("the kernel manages hardware-supported VM translation tables",
+        S2.1), so only non-fault installs charge ``map_update``.
+        """
+        frame = res.frame
+        assert frame is not None
+        frame.flags |= int(PageFlags.REFERENCED)
+        if write:
+            frame.flags |= int(PageFlags.DIRTY)
+        if not post_fault:
+            self.meter.charge("map_update", self.costs.map_update)
+        writable = bool(
+            PageFlags.WRITE in res.prot
+            and PageFlags.DIRTY & PageFlags(frame.flags)
+        )
+        entry = Translation(
+            space.seg_id,
+            vpn,
+            frame.pfn,
+            prot=int(
+                (PageFlags.READ if PageFlags.READ in res.prot else PageFlags.NONE)
+                | (PageFlags.WRITE if writable else PageFlags.NONE)
+            ),
+        )
+        self.page_table.insert(entry)
+        self.tlb.insert(space.seg_id, vpn, (frame.pfn, writable))
+        self._frame_translations.setdefault(frame.pfn, set()).add(
+            (space.seg_id, vpn)
+        )
+        return frame
+
+    def dispatch_fault(self, fault: PageFault) -> None:
+        """Forward a fault to the responsible segment manager (Figure 2).
+
+        Charges the control-transfer costs for the manager's invocation
+        mode, invokes the handler, and charges resumption.
+        """
+        segment = self.segment(fault.segment_id)
+        manager = segment.manager
+        if manager is None:
+            raise NoManagerError(
+                f"segment {segment.name} has no manager for "
+                f"{fault.describe()}"
+            )
+        self.meter.charge("fault_dispatch", self.costs.vpp_fault_dispatch)
+        self.stats.faults += 1
+        kind = fault.kind.name
+        self.stats.faults_by_kind[kind] = (
+            self.stats.faults_by_kind.get(kind, 0) + 1
+        )
+        self.stats.note_manager_call(manager.name)
+        if self.trace is not None:
+            self.trace.add(
+                "kernel",
+                f"forward {fault.kind.name} fault (segment "
+                f"{segment.name}, page {fault.page}) to manager "
+                f"{manager.name}",
+                self.costs.vpp_fault_dispatch,
+            )
+        if manager.invocation is InvocationMode.SEPARATE_PROCESS:
+            self.meter.charge(
+                "fault_ipc",
+                self.costs.ipc_message + self.costs.context_switch,
+            )
+        else:
+            self.meter.charge("fault_upcall", self.costs.vpp_upcall)
+        with self.attribute(manager.name):
+            manager.handle_fault(fault)
+        if manager.invocation is InvocationMode.SEPARATE_PROCESS:
+            self.meter.charge(
+                "fault_ipc",
+                self.costs.ipc_message + self.costs.context_switch,
+            )
+            self.meter.charge("fault_resume", self.costs.vpp_kernel_resume)
+        else:
+            self.meter.charge("fault_resume", self.costs.vpp_resume_direct)
+        if self.trace is not None:
+            self.trace.add(
+                "manager",
+                "reply to faulting process; application resumes",
+                self.costs.vpp_resume_direct
+                if manager.invocation is InvocationMode.IN_PROCESS
+                else self.costs.vpp_kernel_resume,
+            )
+
+    def _through_bindings(
+        self,
+        segment: Segment,
+        page: int,
+        n_pages: int,
+        allow_grow: bool = False,
+    ) -> tuple[Segment, int]:
+        """Resolve a page range through bound regions to the segment that
+        actually holds its frames (for MigratePages, S2.1)."""
+        seen = 0
+        while True:
+            if allow_grow and segment.auto_grow:
+                segment.ensure_size(page + n_pages)
+            segment.check_page_range(page, n_pages)
+            binding = segment.binding_covering(page)
+            if binding is None:
+                return segment, page
+            if not binding.covers(page + n_pages - 1):
+                raise MigrationError(
+                    f"pages [{page}, {page + n_pages}) straddle the "
+                    f"boundary of a bound region in {segment.name}"
+                )
+            page = binding.translate(page)
+            segment = binding.target
+            seen += 1
+            if seen > 64:
+                raise MigrationError("binding chain too deep")
+
+    @contextmanager
+    def attribute(self, name: str):
+        """Attribute kernel operations inside the block to ``name``.
+
+        Nesting is honored: the SPCM granting frames *during* a manager's
+        fault handling attributes those MigratePages calls to itself, not
+        the manager --- Table 3 counts invocations by the manager.
+        """
+        self._attribution.append(name)
+        try:
+            yield
+        finally:
+            self._attribution.pop()
+
+    def notify_manager_call(self, manager: SegmentManager) -> None:
+        """Record a non-fault manager request forwarded by the kernel
+        (file opens/closes and the like --- Table 3 counts these too)."""
+        self.stats.note_manager_call(manager.name)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _invalidate_frame_translations(self, frame: PageFrame) -> None:
+        """Shoot down every cached translation that names ``frame``."""
+        keys = self._frame_translations.pop(frame.pfn, None)
+        if not keys:
+            return
+        for space_id, vpn in keys:
+            self.tlb.invalidate(space_id, vpn)
+            self.page_table.remove(space_id, vpn)
+
+    # -- invariant support -------------------------------------------------
+
+    def frame_census(self) -> dict[int, int]:
+        """pfn -> owning seg_id for every frame (invariant checks)."""
+        census: dict[int, int] = {}
+        for segment in self._segments.values():
+            for frame in segment.pages.values():
+                if frame.pfn in census:
+                    raise MigrationError(
+                        f"frame {frame.pfn} owned by two segments"
+                    )
+                census[frame.pfn] = segment.seg_id
+        return census
+
+    def check_frame_conservation(self) -> None:
+        """Raise unless every frame is owned by exactly one segment."""
+        census = self.frame_census()
+        if len(census) != self.memory.n_frames:
+            missing = self.memory.n_frames - len(census)
+            raise MigrationError(
+                f"{missing} frame(s) are not owned by any segment"
+            )

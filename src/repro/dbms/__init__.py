@@ -1,0 +1,60 @@
+"""The database transaction-processing study (paper, S3.3).
+
+"The program is a mixture of implementation and simulation.  The locks
+were implemented and the parallelism is real.  However, the execution of a
+transaction is simulated by looping for some number of instructions and a
+page fault is simulated by a delay" --- we mirror that architecture on the
+discrete-event engine: the hierarchical lock manager and the CPU/queueing
+behavior are real, transaction compute is a calibrated delay, and a page
+fault is a delay equal to the SGI 4D/380 fault-service time.
+
+Modules:
+
+* :mod:`repro.dbms.locking` — hierarchical (intention-mode) lock manager.
+* :mod:`repro.dbms.relations` — relations and the database schema.
+* :mod:`repro.dbms.btree` — a real B+-tree (the index being traded off).
+* :mod:`repro.dbms.transactions` — DebitCredit and join transactions.
+* :mod:`repro.dbms.workload` — Poisson arrivals, the 95/5 mix.
+* :mod:`repro.dbms.simulator` — the four Table-4 configurations.
+"""
+
+from repro.dbms.btree import BPlusTree
+from repro.dbms.join import (
+    JoinCostModel,
+    JoinRecord,
+    build_join_index,
+    hash_join,
+    index_join,
+    nested_loop_join,
+)
+from repro.dbms.locking import LockManager, LockMode, Transaction
+from repro.dbms.relations import Database, Relation
+from repro.dbms.simulator import (
+    IndexPolicy,
+    TPConfig,
+    TPResult,
+    run_tp_experiment,
+    table4_configurations,
+)
+from repro.dbms.workload import TransactionMix
+
+__all__ = [
+    "BPlusTree",
+    "JoinCostModel",
+    "JoinRecord",
+    "build_join_index",
+    "hash_join",
+    "index_join",
+    "nested_loop_join",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "Database",
+    "Relation",
+    "IndexPolicy",
+    "TPConfig",
+    "TPResult",
+    "run_tp_experiment",
+    "table4_configurations",
+    "TransactionMix",
+]

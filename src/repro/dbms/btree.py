@@ -1,0 +1,321 @@
+"""A B+-tree: the index whose space-time tradeoff Table 4 studies.
+
+"If memory is plentiful, it is more efficient to perform large joins by
+generating indices for the relations in advance" (S3.3).  This is a real,
+fully-functional B+-tree --- insert, search, range scan, delete with
+rebalancing, bulk load --- with leaf chaining for scans and a page-count
+estimate so the simulator can size the index segment (the paper's "one
+megabyte index").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.errors import DBMSError
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[int] = []
+        self.children: list["_Node"] | None = None if leaf else []
+        self.values: list[Any] | None = [] if leaf else None
+        self.next_leaf: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BPlusTree:
+    """A B+-tree mapping integer keys to arbitrary values."""
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise DBMSError("order must be at least 4")
+        self.order = order          # max keys per node
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key: int) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            idx = bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key: int) -> Any | None:
+        """The value for ``key``, or ``None``."""
+        leaf = self._find_leaf(key)
+        assert leaf.values is not None
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def range(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """All (key, value) pairs with ``lo <= key < hi``, in order."""
+        if lo >= hi:
+            return
+        leaf: _Node | None = self._find_leaf(lo)
+        while leaf is not None:
+            assert leaf.values is not None
+            for idx in range(bisect_left(leaf.keys, lo), len(leaf.keys)):
+                key = leaf.keys[idx]
+                if key >= hi:
+                    return
+                yield key, leaf.values[idx]
+            leaf = leaf.next_leaf
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All pairs in key order."""
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        leaf: _Node | None = node
+        while leaf is not None:
+            assert leaf.values is not None
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            assert new_root.children is not None
+            new_root.children.extend([self._root, right])
+            self._root = new_root
+
+    def _insert(
+        self, node: _Node, key: int, value: Any
+    ) -> tuple[int, _Node] | None:
+        if node.is_leaf:
+            assert node.values is not None
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        assert node.children is not None
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[int, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        assert node.values is not None and right.values is not None
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[int, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        assert node.children is not None and right.children is not None
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        removed = self._delete(self._root, key)
+        root = self._root
+        if not root.is_leaf:
+            assert root.children is not None
+            if len(root.children) == 1:
+                self._root = root.children[0]
+        return removed
+
+    def _min_keys(self) -> int:
+        return self.order // 2
+
+    def _delete(self, node: _Node, key: int) -> bool:
+        if node.is_leaf:
+            assert node.values is not None
+            idx = bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                return False
+            node.keys.pop(idx)
+            node.values.pop(idx)
+            self._size -= 1
+            return True
+        assert node.children is not None
+        idx = bisect_right(node.keys, key)
+        removed = self._delete(node.children[idx], key)
+        if removed:
+            self._rebalance_child(node, idx)
+        return removed
+
+    def _rebalance_child(self, parent: _Node, idx: int) -> None:
+        assert parent.children is not None
+        child = parent.children[idx]
+        if len(child.keys) >= self._min_keys() or child is self._root:
+            return
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+        if left is not None and len(left.keys) > self._min_keys():
+            self._borrow_from_left(parent, idx, left, child)
+        elif right is not None and len(right.keys) > self._min_keys():
+            self._borrow_from_right(parent, idx, child, right)
+        elif left is not None:
+            self._merge(parent, idx - 1, left, child)
+        elif right is not None:
+            self._merge(parent, idx, child, right)
+
+    def _borrow_from_left(
+        self, parent: _Node, idx: int, left: _Node, child: _Node
+    ) -> None:
+        if child.is_leaf:
+            assert left.values is not None and child.values is not None
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            assert left.children is not None and child.children is not None
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Node, idx: int, child: _Node, right: _Node
+    ) -> None:
+        if child.is_leaf:
+            assert right.values is not None and child.values is not None
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            assert right.children is not None and child.children is not None
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(
+        self, parent: _Node, left_idx: int, left: _Node, right: _Node
+    ) -> None:
+        assert parent.children is not None
+        if left.is_leaf:
+            assert left.values is not None and right.values is not None
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            assert left.children is not None and right.children is not None
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # ------------------------------------------------------------------
+    # bulk load and sizing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, pairs: Iterable[tuple[int, Any]], order: int = 64
+    ) -> "BPlusTree":
+        """Build a tree from (possibly unsorted) pairs."""
+        tree = cls(order=order)
+        for key, value in sorted(pairs):
+            tree.insert(key, value)
+        return tree
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+            height += 1
+        return height
+
+    def node_count(self) -> int:
+        """Total nodes in the tree (diagnostics)."""
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.children is not None
+            return 1 + sum(count(c) for c in node.children)
+
+        return count(self._root)
+
+    def estimated_pages(self, page_size: int = 4096, entry_bytes: int = 16) -> int:
+        """Pages the index would occupy on 4 KB pages (the simulator uses
+        this to size the paper's 1 MB index segment)."""
+        entries_per_page = max(1, page_size // entry_bytes)
+        return max(1, -(-self._size // entries_per_page))
+
+    def check_invariants(self) -> None:
+        """Raise unless the structure is a valid B+-tree (tests use this)."""
+        keys_seen: list[int] = []
+        for key, _ in self.items():
+            keys_seen.append(key)
+        if keys_seen != sorted(set(keys_seen)):
+            raise DBMSError("leaf chain keys are not strictly increasing")
+        if len(keys_seen) != self._size:
+            raise DBMSError("size does not match leaf chain")
+
+        def depth_check(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.children is not None
+            if len(node.children) != len(node.keys) + 1:
+                raise DBMSError("internal node fanout mismatch")
+            depths = {depth_check(c) for c in node.children}
+            if len(depths) != 1:
+                raise DBMSError("tree is not balanced")
+            return depths.pop() + 1
+
+        depth_check(self._root)
+
+
+__all__ = ["BPlusTree"]

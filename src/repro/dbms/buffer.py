@@ -1,0 +1,104 @@
+"""Index residency over a real V++ segment.
+
+The Table-4 simulator keeps the paper's "one megabyte index" in an actual
+kernel segment managed by a :class:`~repro.managers.dbms_manager.DBMSSegmentManager`,
+so the four configurations exercise the real library paths:
+
+* *index in memory* — the segment stays fully resident;
+* *index with paging* — a conventional-OS eviction sweep reclaims the
+  pages (and the reclaimed frames are reused by others, so faults go to
+  backing store);
+* *index regeneration* — the manager's ``discard_segment`` drops the whole
+  index without writeback and the DBMS rebuilds it in memory when needed.
+
+Time (fault delays, regeneration compute) is supplied by the simulator's
+discrete-event processes; this class only keeps the residency truth.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel import Kernel
+from repro.core.segment import Segment
+from repro.hw.costs import SGI_4D_380
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.dbms_manager import DBMSSegmentManager
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import SystemPageCacheManager
+
+
+class SegmentBackedIndex:
+    """The join index as a managed kernel segment."""
+
+    def __init__(self, n_pages: int = 256) -> None:
+        # a private small machine: only the index segment lives here
+        memory = PhysicalMemory(
+            max(16, 4 * n_pages) * 4096, page_size=4096
+        )
+        self.kernel = Kernel(memory, costs=SGI_4D_380)
+        self.spcm = SystemPageCacheManager(
+            self.kernel, policy=ReservePolicy(reserve_frames=0)
+        )
+        self.manager = DBMSSegmentManager(
+            self.kernel, self.spcm, initial_frames=2 * n_pages
+        )
+        self.segment: Segment = self.manager.create_typed_segment(
+            n_pages, pool="indices", name="join-index"
+        )
+        self.n_pages = n_pages
+        self.evictions = 0
+        self.discards = 0
+        self.regenerations = 0
+        self.faults_served = 0
+        self.regenerate()
+
+    # -- residency -------------------------------------------------------
+
+    @property
+    def n_resident(self) -> int:
+        return self.segment.resident_pages
+
+    def resident(self, page: int) -> bool:
+        """True when the index page is backed by a frame."""
+        return page in self.segment.pages
+
+    def missing_pages(self) -> list[int]:
+        """Index pages currently paged out, in order."""
+        return [
+            p for p in range(self.n_pages) if p not in self.segment.pages
+        ]
+
+    @property
+    def fully_resident(self) -> bool:
+        return self.segment.resident_pages == self.n_pages
+
+    # -- the three behaviours --------------------------------------------
+
+    def fault_in(self, page: int) -> None:
+        """Service one index page fault (the simulator supplies the 14 ms)."""
+        self.manager.ensure_resident(self.segment, [page])
+        self.faults_served += 1
+
+    def evict_all(self) -> int:
+        """Conventional-OS sweep: every index page is paged out and the
+        frames are reused elsewhere (so the data is really gone)."""
+        pages = sorted(self.segment.pages)
+        for page in pages:
+            self.manager.reclaim_one(self.segment, page)
+        self.manager.invalidate_reclaim_cache()
+        self.evictions += 1
+        return len(pages)
+
+    def discard(self) -> int:
+        """The DBMS's own response to reduced memory: drop the index
+        wholesale, no writeback (it is regenerable)."""
+        dropped = self.manager.discard_segment(self.segment)
+        self.manager.invalidate_reclaim_cache()
+        self.discards += 1
+        return dropped
+
+    def regenerate(self) -> None:
+        """Rebuild the index in memory (simulator charges the compute)."""
+        self.manager.ensure_resident(
+            self.segment, list(range(self.n_pages))
+        )
+        self.regenerations += 1

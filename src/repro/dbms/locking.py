@@ -1,0 +1,298 @@
+"""A hierarchical (intention-mode) lock manager on the simulation engine.
+
+"A hierarchical locking scheme is used for concurrency control" (S3.3).
+The classic Gray intention modes are implemented --- IS, IX, S, SIX, X ---
+with the standard compatibility matrix, strict FIFO granting (no
+starvation), mode upgrades, and two-phase release at commit.
+
+Resources are arbitrary hashable names arranged by the caller into a
+hierarchy (database -> relation -> page); :meth:`LockManager.acquire`
+checks that a parent intention lock is held before granting a child lock,
+enforcing the protocol the invariants test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable
+
+from repro.errors import DeadlockError, LockProtocolError
+from repro.sim.engine import Engine
+from repro.sim.process import Wait
+from repro.sim.resources import SimEvent
+
+Resource = Hashable
+
+
+class LockMode(Enum):
+    """Gray's hierarchical lock modes."""
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    SIX = "SIX"
+    X = "X"
+
+
+#: Gray's compatibility matrix.
+_COMPAT: dict[LockMode, set[LockMode]] = {
+    LockMode.IS: {LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX},
+    LockMode.IX: {LockMode.IS, LockMode.IX},
+    LockMode.S: {LockMode.IS, LockMode.S},
+    LockMode.SIX: {LockMode.IS},
+    LockMode.X: set(),
+}
+
+#: mode strength for upgrades (combine(m1, m2) = the weakest mode at least
+#: as strong as both)
+_COMBINE: dict[frozenset[LockMode], LockMode] = {}
+for _m in LockMode:
+    _COMBINE[frozenset({_m})] = _m
+_COMBINE[frozenset({LockMode.IS, LockMode.IX})] = LockMode.IX
+_COMBINE[frozenset({LockMode.IS, LockMode.S})] = LockMode.S
+_COMBINE[frozenset({LockMode.IS, LockMode.SIX})] = LockMode.SIX
+_COMBINE[frozenset({LockMode.IS, LockMode.X})] = LockMode.X
+_COMBINE[frozenset({LockMode.IX, LockMode.S})] = LockMode.SIX
+_COMBINE[frozenset({LockMode.IX, LockMode.SIX})] = LockMode.SIX
+_COMBINE[frozenset({LockMode.IX, LockMode.X})] = LockMode.X
+_COMBINE[frozenset({LockMode.S, LockMode.SIX})] = LockMode.SIX
+_COMBINE[frozenset({LockMode.S, LockMode.X})] = LockMode.X
+_COMBINE[frozenset({LockMode.SIX, LockMode.X})] = LockMode.X
+
+
+def compatible(requested: LockMode, held: LockMode) -> bool:
+    """True when ``requested`` can be granted alongside ``held``."""
+    return held in _COMPAT[requested]
+
+
+def combine(a: LockMode, b: LockMode) -> LockMode:
+    """The weakest mode at least as strong as both ``a`` and ``b``."""
+    return _COMBINE[frozenset({a, b})]
+
+
+@dataclass
+class Transaction:
+    """A lock-holding actor."""
+
+    txn_id: int
+    name: str = ""
+    held: dict[Resource, LockMode] = field(default_factory=dict)
+    lock_waits: int = 0
+    lock_wait_us: float = 0.0
+
+    def holds_at_least(self, resource: Resource, mode: LockMode) -> bool:
+        """True when the held mode is at least as strong as ``mode``."""
+        held = self.held.get(resource)
+        return held is not None and combine(held, mode) == held
+
+
+@dataclass
+class _Waiter:
+    txn: Transaction
+    mode: LockMode
+    event: SimEvent
+    enqueued_at: float
+
+
+class _LockState:
+    __slots__ = ("granted", "queue")
+
+    def __init__(self) -> None:
+        self.granted: dict[int, tuple[Transaction, LockMode]] = {}
+        self.queue: deque[_Waiter] = deque()
+
+
+class LockManager:
+    """Intention-mode locks with FIFO queues."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._locks: dict[Resource, _LockState] = {}
+        #: resource -> parent resource (for protocol checking)
+        self._parent: dict[Resource, Resource] = {}
+        #: txn_id -> (resource, mode) it is blocked on (waits-for graph)
+        self._waiting_on: dict[int, tuple[Resource, LockMode]] = {}
+        self.grants = 0
+        self.waits = 0
+        self.deadlocks_detected = 0
+
+    # -- hierarchy ------------------------------------------------------------
+
+    def declare_child(self, parent: Resource, child: Resource) -> None:
+        """Register ``child`` under ``parent`` in the lock hierarchy."""
+        if child == parent:
+            raise LockProtocolError("a resource cannot be its own parent")
+        self._parent[child] = parent
+
+    def _required_parent_mode(self, mode: LockMode) -> LockMode:
+        """Intention mode a parent must carry for a child lock in ``mode``."""
+        if mode in (LockMode.IS, LockMode.S):
+            return LockMode.IS
+        return LockMode.IX
+
+    def _check_protocol(self, txn: Transaction, resource: Resource, mode: LockMode) -> None:
+        parent = self._parent.get(resource)
+        if parent is None:
+            return
+        needed = self._required_parent_mode(mode)
+        held = txn.held.get(parent)
+        if held is None or combine(held, needed) != held:
+            raise LockProtocolError(
+                f"txn {txn.txn_id} requests {mode.value} on {resource!r} "
+                f"without {needed.value} (or stronger) on parent {parent!r}"
+            )
+
+    # -- acquire / release -----------------------------------------------------
+
+    def acquire(self, txn: Transaction, resource: Resource, mode: LockMode):
+        """Generator: acquire the lock, blocking in FIFO order.
+
+        Use as ``yield from lock_manager.acquire(txn, res, mode)`` inside a
+        simulation process.
+        """
+        self._check_protocol(txn, resource, mode)
+        state = self._locks.setdefault(resource, _LockState())
+        current = txn.held.get(resource)
+        wanted = mode if current is None else combine(current, mode)
+        if current is not None and wanted == current:
+            return  # already strong enough
+        if self._grantable(state, txn, wanted, upgrade=current is not None):
+            self._grant(state, txn, resource, wanted)
+            return
+        if self._would_deadlock(txn, resource, wanted):
+            self.deadlocks_detected += 1
+            raise DeadlockError(
+                f"txn {txn.txn_id} waiting for {resource!r} ({wanted.value}) "
+                "closes a waits-for cycle"
+            )
+        event = SimEvent(self.engine)
+        waiter = _Waiter(txn, wanted, event, self.engine.now)
+        if current is not None:
+            # upgrades go to the queue head: the holder cannot wait behind
+            # requests that are themselves blocked on it
+            state.queue.appendleft(waiter)
+        else:
+            state.queue.append(waiter)
+        self.waits += 1
+        txn.lock_waits += 1
+        self._waiting_on[txn.txn_id] = (resource, wanted)
+        started = self.engine.now
+        try:
+            yield Wait(event)
+        finally:
+            self._waiting_on.pop(txn.txn_id, None)
+        txn.lock_wait_us += self.engine.now - started
+        # _grant was performed by the releaser before firing the event
+
+    def _would_deadlock(
+        self, txn: Transaction, resource: Resource, mode: LockMode
+    ) -> bool:
+        """DFS over the waits-for graph: would blocking ``txn`` on
+        ``resource`` close a cycle back to itself?"""
+        state = self._locks.get(resource)
+        if state is None:
+            return False
+        frontier = [
+            holder
+            for holder_id, (holder, held_mode) in state.granted.items()
+            if holder_id != txn.txn_id and not compatible(mode, held_mode)
+        ]
+        seen: set[int] = set()
+        while frontier:
+            blocker = frontier.pop()
+            if blocker.txn_id == txn.txn_id:
+                return True
+            if blocker.txn_id in seen:
+                continue
+            seen.add(blocker.txn_id)
+            waiting = self._waiting_on.get(blocker.txn_id)
+            if waiting is None:
+                continue
+            blocked_on, wanted_mode = waiting
+            blocked_state = self._locks.get(blocked_on)
+            if blocked_state is None:
+                continue
+            frontier.extend(
+                holder
+                for holder_id, (holder, held_mode)
+                in blocked_state.granted.items()
+                if holder_id != blocker.txn_id
+                and not compatible(wanted_mode, held_mode)
+            )
+        return False
+
+    def _grantable(
+        self,
+        state: _LockState,
+        txn: Transaction,
+        mode: LockMode,
+        upgrade: bool,
+    ) -> bool:
+        if not upgrade and state.queue:
+            return False  # strict FIFO for fresh requests
+        return all(
+            compatible(mode, held_mode)
+            for holder_id, (_, held_mode) in state.granted.items()
+            if holder_id != txn.txn_id
+        )
+
+    def _grant(
+        self,
+        state: _LockState,
+        txn: Transaction,
+        resource: Resource,
+        mode: LockMode,
+    ) -> None:
+        state.granted[txn.txn_id] = (txn, mode)
+        txn.held[resource] = mode
+        self.grants += 1
+
+    def release_all(self, txn: Transaction) -> None:
+        """Two-phase release: drop every lock the transaction holds."""
+        for resource in list(txn.held):
+            self._release(txn, resource)
+        txn.held.clear()
+
+    def _release(self, txn: Transaction, resource: Resource) -> None:
+        state = self._locks.get(resource)
+        if state is None or txn.txn_id not in state.granted:
+            raise LockProtocolError(
+                f"txn {txn.txn_id} releases {resource!r} it does not hold"
+            )
+        del state.granted[txn.txn_id]
+        self._wake_queue(state, resource)
+
+    def _wake_queue(self, state: _LockState, resource: Resource) -> None:
+        while state.queue:
+            waiter = state.queue[0]
+            upgrade = waiter.txn.txn_id in state.granted
+            if not all(
+                compatible(waiter.mode, held_mode)
+                for holder_id, (_, held_mode) in state.granted.items()
+                if holder_id != waiter.txn.txn_id
+            ):
+                return
+            state.queue.popleft()
+            self._grant(state, waiter.txn, resource, waiter.mode)
+            waiter.event.fire(waiter.mode)
+            if waiter.mode is LockMode.X or (
+                upgrade and waiter.mode is LockMode.SIX
+            ):
+                # an exclusive grant blocks everything behind it
+                return
+
+    # -- introspection ---------------------------------------------------------
+
+    def holders(self, resource: Resource) -> dict[int, LockMode]:
+        """Current grants on ``resource`` by transaction id."""
+        state = self._locks.get(resource)
+        if state is None:
+            return {}
+        return {tid: mode for tid, (_, mode) in state.granted.items()}
+
+    def queue_length(self, resource: Resource) -> int:
+        """Number of blocked waiters on ``resource``."""
+        state = self._locks.get(resource)
+        return len(state.queue) if state is not None else 0

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class KernelError(ReproError):
+    """Base class for errors raised by the V++ kernel model."""
+
+
+class SegmentError(KernelError):
+    """A segment operation was invalid (bad range, unknown segment, ...)."""
+
+
+class ProtectionError(KernelError):
+    """An access violated the protection of a page or bound region."""
+
+
+class MigrationError(KernelError):
+    """A ``MigratePages`` call was invalid (frame not owned, overlap, ...)."""
+
+
+class BindingError(KernelError):
+    """A bound-region operation was invalid (overlap, misalignment, ...)."""
+
+
+class UnresolvedFaultError(KernelError):
+    """A page fault could not be resolved by the responsible manager."""
+
+
+class NoManagerError(KernelError):
+    """A fault occurred on a segment that has no segment manager."""
+
+
+class UIOError(KernelError):
+    """A Uniform I/O (block read/write) operation failed."""
+
+
+class HardwareError(ReproError):
+    """Base class for errors raised by the simulated hardware."""
+
+
+class PhysicalMemoryError(HardwareError):
+    """An invalid physical frame was referenced."""
+
+
+class DiskError(HardwareError):
+    """An invalid disk transfer was requested."""
+
+
+class ManagerError(ReproError):
+    """Base class for errors raised by process-level segment managers."""
+
+
+class OutOfFramesError(ManagerError):
+    """A manager could not obtain a page frame to satisfy a fault."""
+
+
+class SPCMError(ReproError):
+    """Base class for errors raised by the System Page Cache Manager."""
+
+
+class InsufficientFundsError(SPCMError):
+    """A dram account did not have the funds for the requested operation."""
+
+
+class AllocationRefusedError(SPCMError):
+    """The SPCM refused a frame allocation request outright."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event engine."""
+
+
+class DeadlockError(SimulationError):
+    """The discrete-event simulation deadlocked (no runnable events)."""
+
+
+class DBMSError(ReproError):
+    """Base class for errors raised by the database substrate."""
+
+
+class LockProtocolError(DBMSError):
+    """The hierarchical locking protocol was violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload trace or application model was malformed."""

@@ -1,0 +1,47 @@
+"""Simulated hardware substrate.
+
+The paper measures a DECstation 5000/200 (25 MHz R3000, 4 KB pages) and an
+SGI 4D/380 (eight 30-MIPS processors).  This package models the pieces of
+those machines that the virtual-memory experiments depend on:
+
+* :mod:`repro.hw.costs` — per-operation machine cost models and the
+  :class:`~repro.hw.costs.CostMeter` every kernel/manager code path charges.
+* :mod:`repro.hw.phys_mem` — the physical page-frame pool.
+* :mod:`repro.hw.page_table` — the V++ global hash page table and a
+  conventional linear page table.
+* :mod:`repro.hw.tlb` — a software-managed TLB model.
+* :mod:`repro.hw.cache` — a physically-indexed cache (for page coloring).
+* :mod:`repro.hw.disk` — secondary storage with latency and bandwidth.
+"""
+
+from repro.hw.cache import CacheStats, PhysicallyIndexedCache
+from repro.hw.costs import (
+    DECSTATION_5000_200,
+    SGI_4D_380,
+    CostMeter,
+    MachineCosts,
+)
+from repro.hw.disk import Disk, DiskStats
+from repro.hw.numa import NumaTopology
+from repro.hw.page_table import GlobalHashPageTable, LinearPageTable, Translation
+from repro.hw.phys_mem import PageFrame, PhysicalMemory
+from repro.hw.tlb import TLB, TLBStats
+
+__all__ = [
+    "CacheStats",
+    "PhysicallyIndexedCache",
+    "DECSTATION_5000_200",
+    "SGI_4D_380",
+    "CostMeter",
+    "MachineCosts",
+    "Disk",
+    "DiskStats",
+    "NumaTopology",
+    "GlobalHashPageTable",
+    "LinearPageTable",
+    "Translation",
+    "PageFrame",
+    "PhysicalMemory",
+    "TLB",
+    "TLBStats",
+]

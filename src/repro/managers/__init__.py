@@ -1,0 +1,44 @@
+"""Process-level segment managers.
+
+Everything a conventional kernel VM does lives out here (paper, S2.2-S2.3):
+
+* :class:`~repro.managers.base.GenericSegmentManager` — the paper's
+  "generic or standard segment manager" that applications specialize
+  through inheritance: free-page segment bookkeeping, fault handling,
+  reclamation with the paper's migrate-back fast path, SPCM negotiation.
+* :class:`~repro.managers.default_manager.DefaultSegmentManager` — the
+  extended UCDS: a separate server process managing conventional programs
+  with a protection-sampling clock algorithm and 16 KB append allocation.
+* Application-specific managers: database
+  (:mod:`~repro.managers.dbms_manager`), read-ahead/writeback
+  (:mod:`~repro.managers.prefetch_manager`), page coloring
+  (:mod:`~repro.managers.coloring_manager`), discardable pages
+  (:mod:`~repro.managers.discard_manager`), and the conventional pinning
+  comparator (:mod:`~repro.managers.pinning`).
+"""
+
+from repro.managers.base import GenericSegmentManager
+from repro.managers.clock import ClockReplacer, ProtectionClockSampler
+from repro.managers.coloring_manager import ColoringSegmentManager
+from repro.managers.dbms_manager import DBMSSegmentManager
+from repro.managers.default_manager import DefaultSegmentManager
+from repro.managers.discard_manager import DiscardableSegmentManager
+from repro.managers.placement_manager import PlacementSegmentManager
+from repro.managers.prefetch_manager import IOTimeline, PrefetchingSegmentManager
+from repro.managers.pinning import PinnedPageManager
+from repro.managers.self_managing import SelfManagingManager
+
+__all__ = [
+    "PlacementSegmentManager",
+    "SelfManagingManager",
+    "GenericSegmentManager",
+    "ClockReplacer",
+    "ProtectionClockSampler",
+    "ColoringSegmentManager",
+    "DBMSSegmentManager",
+    "DefaultSegmentManager",
+    "DiscardableSegmentManager",
+    "IOTimeline",
+    "PrefetchingSegmentManager",
+    "PinnedPageManager",
+]

@@ -1,0 +1,398 @@
+"""The generic segment manager applications specialize.
+
+"An application segment manager can be 'specialized' from a generic or
+standard segment manager using inheritance ... The generic implementation
+provides data structures for managing the free page segment and basic page
+faulting handling.  The page replacement selection routines and page fill
+routines can be easily specialized" (paper, S2.2).
+
+The free-page segment is the manager's private frame stock:
+
+* *free slots* hold an allocatable frame;
+* *empty slots* hold no frame (their frame was migrated out to satisfy a
+  fault) and are reused when pages are reclaimed back in;
+* reclaimed pages keep their data, and the manager remembers where each
+  came from --- a fault on a page whose frame is still sitting in the free
+  segment is satisfied by migrating the same frame straight back ("the
+  manager simply migrates it back to the original segment", S2.2).
+
+Subclass hooks: :meth:`fill_page` (page-in policy), :meth:`writeback`
+(page-out policy), :meth:`select_victims` (replacement policy), and
+:meth:`on_protection_fault`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.core.faults import FaultKind, PageFault
+from repro.core.flags import PageFlags
+from repro.core.manager_api import InvocationMode, SegmentManager
+from repro.core.segment import Segment
+from repro.errors import ManagerError, OutOfFramesError
+from repro.spcm.spcm import FrameRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernel import Kernel
+    from repro.hw.phys_mem import PageFrame
+    from repro.spcm.spcm import SystemPageCacheManager
+
+
+class GenericSegmentManager(SegmentManager):
+    """Free-page segment bookkeeping plus basic fault handling."""
+
+    invocation = InvocationMode.IN_PROCESS
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        spcm: "SystemPageCacheManager",
+        name: str,
+        initial_frames: int = 64,
+        page_size: int | None = None,
+        refill_batch: int = 32,
+        reclaim_batch: int = 16,
+    ) -> None:
+        super().__init__(kernel, name)
+        self.spcm = spcm
+        self.account = spcm.register_manager(self)
+        self.page_size = page_size or kernel.memory.page_size
+        self.refill_batch = refill_batch
+        self.reclaim_batch = reclaim_batch
+        self.free_segment = kernel.create_segment(
+            0,
+            page_size=self.page_size,
+            name=f"{name}.free",
+            auto_grow=True,
+        )
+        self._free_slots: list[int] = []   # slots holding an allocatable frame
+        self._empty_slots: list[int] = []  # slots holding no frame
+        # reclaim cache: free slot -> origin, and the reverse
+        self._stale_origin: dict[int, tuple[int, int]] = {}
+        self._stale_slot: dict[tuple[int, int], int] = {}
+        # resident pages this manager placed, oldest first (FIFO default)
+        self._resident: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.pinned_segments: set[int] = set()
+        # counters
+        self.faults_handled = 0
+        self.fast_reclaims = 0
+        self.pages_reclaimed = 0
+        self.writebacks = 0
+        if initial_frames:
+            self.request_frames(initial_frames)
+
+    # ------------------------------------------------------------------
+    # frame stock
+    # ------------------------------------------------------------------
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free_slots)
+
+    @property
+    def total_frames(self) -> int:
+        """Frames this manager holds (free stock plus resident pages)."""
+        return len(self._free_slots) + len(self._resident)
+
+    def request_frames(self, n_frames: int, **constraints) -> int:
+        """Ask the SPCM for frames into the free segment; returns count."""
+        pages = self.spcm.request_frames(
+            self,
+            FrameRequest(
+                self.account, n_frames, page_size=self.page_size, **constraints
+            ),
+            self.free_segment,
+        )
+        self._free_slots.extend(pages)
+        return len(pages)
+
+    def return_frames(self, n_frames: int) -> int:
+        """Give free frames back to the SPCM; returns count returned."""
+        n = min(n_frames, len(self._free_slots))
+        if n == 0:
+            return 0
+        slots = [self._free_slots.pop() for _ in range(n)]
+        for slot in slots:
+            self._drop_stale(slot)
+        self.spcm.return_frames(self, self.free_segment, slots)
+        self._empty_slots.extend(slots)
+        return n
+
+    def allocate_slot(self) -> int:
+        """A free-segment slot whose frame may be migrated out.
+
+        Refills from the SPCM, then by reclaiming victims; charges the
+        manager's allocation work.
+        """
+        self.kernel.meter.charge(
+            "manager_alloc", self.kernel.costs.vpp_manager_alloc
+        )
+        if not self._free_slots:
+            self.request_frames(self.refill_batch)
+        if not self._free_slots:
+            self.reclaim_pages(self.reclaim_batch)
+        if not self._free_slots:
+            raise OutOfFramesError(
+                f"manager {self.name} has no frames and could not reclaim"
+            )
+        slot = self._free_slots.pop()
+        self._drop_stale(slot)
+        return slot
+
+    def allocate_run(self, n_slots: int) -> list[int]:
+        """``n_slots`` *contiguous* free-segment slots (for one
+        multi-page MigratePages, e.g. 16 KB append allocation)."""
+        self.kernel.meter.charge(
+            "manager_alloc", self.kernel.costs.vpp_manager_alloc
+        )
+        run = self._find_run(n_slots)
+        if run is None:
+            # Fresh SPCM grants are appended, hence contiguous.
+            got = self.request_frames(n_slots)
+            if got == n_slots:
+                run = self._find_run(n_slots)
+        if run is None:
+            # fall back to singles; caller will issue one migrate per slot
+            return [self._pop_slot() for _ in range(n_slots)]
+        for slot in run:
+            self._free_slots.remove(slot)
+            self._drop_stale(slot)
+        return run
+
+    def _pop_slot(self) -> int:
+        if not self._free_slots:
+            self.request_frames(self.refill_batch)
+        if not self._free_slots:
+            self.reclaim_pages(self.reclaim_batch)
+        if not self._free_slots:
+            raise OutOfFramesError(f"manager {self.name} is out of frames")
+        slot = self._free_slots.pop()
+        self._drop_stale(slot)
+        return slot
+
+    def _find_run(self, n: int) -> list[int] | None:
+        if len(self._free_slots) < n:
+            return None
+        ordered = sorted(self._free_slots)
+        start = 0
+        for i in range(1, len(ordered) + 1):
+            if i == len(ordered) or ordered[i] != ordered[i - 1] + 1:
+                if i - start >= n:
+                    return ordered[start : start + n]
+                start = i
+        return None
+
+    def charge_io(self, n_bytes: int) -> float:
+        """Bill backing-store traffic to this manager's dram account
+        (a no-op unless the SPCM runs a market)."""
+        return self.spcm.charge_io(self, n_bytes)
+
+    def invalidate_reclaim_cache(self) -> None:
+        """Forget the migrate-back cache (reclaimed data no longer valid).
+
+        Used when the reclaimed frames' contents must be treated as lost,
+        e.g. when modeling a conventional OS that hands reclaimed frames
+        to other processes.
+        """
+        self._stale_origin.clear()
+        self._stale_slot.clear()
+
+    def _drop_stale(self, slot: int) -> None:
+        origin = self._stale_origin.pop(slot, None)
+        if origin is not None:
+            self._stale_slot.pop(origin, None)
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+
+    def handle_fault(self, fault: PageFault) -> None:
+        self.faults_handled += 1
+        segment = self.kernel.segment(fault.segment_id)
+        if fault.kind is FaultKind.PROTECTION:
+            self.on_protection_fault(segment, fault)
+            return
+        key = (fault.segment_id, fault.page)
+        stale_slot = self._stale_slot.get(key)
+        if stale_slot is not None and fault.kind is FaultKind.MISSING_PAGE:
+            # The paper's fast path: the frame reclaimed from this page is
+            # still in the free segment with its data; migrate it back.
+            self._stale_slot.pop(key)
+            self._stale_origin.pop(stale_slot)
+            self._free_slots.remove(stale_slot)
+            self.kernel.migrate_pages(
+                self.free_segment,
+                segment,
+                stale_slot,
+                fault.page,
+                1,
+                set_flags=PageFlags.READ | PageFlags.WRITE,
+            )
+            self._empty_slots.append(stale_slot)
+            self._note_resident(segment, fault.page)
+            self.fast_reclaims += 1
+            return
+        slot = self.allocate_slot()
+        frame = self.free_segment.pages[slot]
+        if fault.kind is FaultKind.MISSING_PAGE:
+            self.fill_page(segment, fault.page, frame)
+        # For COPY_ON_WRITE the kernel copies the source data during the
+        # migrate; the manager only supplies the frame.
+        self.kernel.migrate_pages(
+            self.free_segment,
+            segment,
+            slot,
+            fault.page,
+            1,
+            set_flags=PageFlags.READ | PageFlags.WRITE,
+            clear_flags=PageFlags.REFERENCED,
+        )
+        self._empty_slots.append(slot)
+        self._note_resident(segment, fault.page)
+        if self.kernel.trace is not None:
+            self.kernel.trace.add(
+                "manager",
+                f"migrate frame pfn={frame.pfn} into {segment.name} "
+                f"page {fault.page}",
+            )
+
+    def on_protection_fault(self, segment: Segment, fault: PageFault) -> None:
+        """Default protection-fault policy: restore full access."""
+        self.kernel.modify_page_flags(
+            segment,
+            fault.page,
+            1,
+            set_flags=PageFlags.READ | PageFlags.WRITE,
+        )
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+
+    def fill_page(
+        self, segment: Segment, page: int, frame: "PageFrame"
+    ) -> None:
+        """Fill a frame about to be migrated to ``segment``:``page``.
+
+        The default manager of anonymous memory provides fresh frames
+        as-is: V++ does not zero unless the frame changed users, which the
+        kernel handles via the ZERO_FILL flag.
+        """
+
+    def writeback(
+        self, segment: Segment, page: int, frame: "PageFrame"
+    ) -> None:
+        """Persist a dirty page being reclaimed.  Default: nowhere to put
+        anonymous data, so the data simply stays in the frame (and remains
+        recoverable through the migrate-back fast path)."""
+
+    def select_victims(self, n_pages: int) -> list[tuple[Segment, int]]:
+        """Choose pages to reclaim.  Default: FIFO over resident pages,
+        skipping pinned segments and pinned frames."""
+        victims: list[tuple[Segment, int]] = []
+        for (seg_id, page) in self._resident:
+            if len(victims) >= n_pages:
+                break
+            if seg_id in self.pinned_segments:
+                continue
+            segment = self.kernel.segment(seg_id)
+            frame = segment.pages.get(page)
+            if frame is None:
+                continue
+            if PageFlags.PINNED & PageFlags(frame.flags):
+                continue
+            victims.append((segment, page))
+        return victims
+
+    # ------------------------------------------------------------------
+    # reclamation
+    # ------------------------------------------------------------------
+
+    def reclaim_pages(self, n_pages: int) -> int:
+        """Reclaim up to ``n_pages`` resident pages into the free stock."""
+        victims = self.select_victims(n_pages)
+        for segment, page in victims:
+            self.reclaim_one(segment, page)
+        return len(victims)
+
+    def reclaim_one(self, segment: Segment, page: int) -> None:
+        """Reclaim a specific resident page (writeback if dirty)."""
+        frame = segment.pages.get(page)
+        if frame is None:
+            raise ManagerError(
+                f"page {page} of {segment.name} is not resident"
+            )
+        if PageFlags.DIRTY & PageFlags(frame.flags):
+            self.writeback(segment, page, frame)
+        slot = self._empty_slots.pop() if self._empty_slots else None
+        if slot is None:
+            slot = self.free_segment.n_pages
+            self.free_segment.grow(1)
+        self.kernel.migrate_pages(
+            segment,
+            self.free_segment,
+            page,
+            slot,
+            1,
+            clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+        )
+        self._free_slots.append(slot)
+        key = (segment.seg_id, page)
+        self._stale_origin[slot] = key
+        self._stale_slot[key] = slot
+        self._resident.pop(key, None)
+        self.pages_reclaimed += 1
+
+    def _note_resident(self, segment: Segment, page: int) -> None:
+        self._resident[(segment.seg_id, page)] = None
+
+    # ------------------------------------------------------------------
+    # kernel events / SPCM pressure
+    # ------------------------------------------------------------------
+
+    def segment_deleted(self, segment: Segment) -> None:
+        """Reclaim every frame of a dying segment; its data is dead, so
+        no writeback and no migrate-back cache entries."""
+        for page in sorted(segment.pages):
+            slot = self._empty_slots.pop() if self._empty_slots else None
+            if slot is None:
+                slot = self.free_segment.n_pages
+                self.free_segment.grow(1)
+            self.kernel.migrate_pages(
+                segment,
+                self.free_segment,
+                page,
+                slot,
+                1,
+                clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+            )
+            self._free_slots.append(slot)
+            self._resident.pop((segment.seg_id, page), None)
+        self.pinned_segments.discard(segment.seg_id)
+
+    def release_frames(self, n_frames: int) -> int:
+        """SPCM pressure: surrender frames, reclaiming if needed.
+
+        The manager keeps "complete control over which page frames to
+        surrender" --- pinned segments are never victimized.
+        """
+        if len(self._free_slots) < n_frames:
+            self.reclaim_pages(n_frames - len(self._free_slots))
+        return self.return_frames(n_frames)
+
+    # ------------------------------------------------------------------
+    # pinning helpers (S2.2: the manager keeps its own pages in memory)
+    # ------------------------------------------------------------------
+
+    def pin_segment(self, segment: Segment) -> None:
+        """Exclude a segment's pages from replacement."""
+        self.pinned_segments.add(segment.seg_id)
+
+    def unpin_segment(self, segment: Segment) -> None:
+        """Re-admit a segment's pages to replacement."""
+        self.pinned_segments.discard(segment.seg_id)
+
+    def resident_pages_of(self, segment: Segment) -> list[int]:
+        """Page indices of ``segment`` currently backed by frames."""
+        return sorted(segment.pages)

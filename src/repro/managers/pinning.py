@@ -1,0 +1,89 @@
+"""The conventional pinning comparator.
+
+"The conventional approach of pinning pages in memory does not provide the
+application with complete information ... The operating system cannot allow
+a significant percentage of its page frame pool to be pinned" (paper, S4).
+This manager models that regime: an ``mpin``/``munpin`` interface with a
+hard pin quota, while unpinned resident pages remain subject to reclamation
+at the system's whim (here: FIFO, invisible to the application).  Benches
+use it to contrast pin-based control with full page-cache control.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.flags import PageFlags
+from repro.core.segment import Segment
+from repro.errors import ManagerError
+from repro.managers.base import GenericSegmentManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernel import Kernel
+    from repro.spcm.spcm import SystemPageCacheManager
+
+
+class PinnedPageManager(GenericSegmentManager):
+    """Pin-quota semantics over the generic manager."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        spcm: "SystemPageCacheManager",
+        name: str = "pin-manager",
+        initial_frames: int = 128,
+        pin_quota: int = 32,
+    ) -> None:
+        super().__init__(kernel, spcm, name, initial_frames)
+        self.pin_quota = pin_quota
+        self.pinned: set[tuple[int, int]] = set()
+        self.pin_refusals = 0
+
+    def mpin(self, segment: Segment, start_page: int, n_pages: int = 1) -> int:
+        """Pin pages, subject to the quota; returns pages actually pinned.
+
+        Pages are faulted in first (a pin implies residency).
+        """
+        segment.check_page_range(start_page, n_pages)
+        pinned = 0
+        for page in range(start_page, start_page + n_pages):
+            if (segment.seg_id, page) in self.pinned:
+                continue
+            if len(self.pinned) >= self.pin_quota:
+                self.pin_refusals += 1
+                break
+            if page not in segment.pages:
+                from repro.core.faults import FaultKind, PageFault
+
+                self.handle_fault(
+                    PageFault(
+                        segment.seg_id, page, FaultKind.MISSING_PAGE, False
+                    )
+                )
+            self.kernel.modify_page_flags(
+                segment, page, 1, set_flags=PageFlags.PINNED
+            )
+            self.pinned.add((segment.seg_id, page))
+            pinned += 1
+        return pinned
+
+    def munpin(self, segment: Segment, start_page: int, n_pages: int = 1) -> None:
+        """Unpin pages previously pinned with :meth:`mpin`."""
+        for page in range(start_page, start_page + n_pages):
+            if (segment.seg_id, page) not in self.pinned:
+                raise ManagerError(
+                    f"page {page} of {segment.name} is not pinned"
+                )
+            self.kernel.modify_page_flags(
+                segment, page, 1, clear_flags=PageFlags.PINNED
+            )
+            self.pinned.discard((segment.seg_id, page))
+
+    def pinned_count(self) -> int:
+        """Pages currently pinned against the quota."""
+        return len(self.pinned)
+
+    def system_pressure(self, n_pages: int) -> int:
+        """The system reclaims unpinned pages behind the application's
+        back --- the opacity the paper criticizes.  Returns pages taken."""
+        return self.reclaim_pages(n_pages)

@@ -1,0 +1,37 @@
+"""A small discrete-event simulation engine.
+
+The paper's Table 4 study is "a mixture of implementation and simulation":
+locks and parallelism are real, transaction compute is a modeled delay.
+This package provides the substrate for that style of experiment:
+
+* :mod:`repro.sim.engine` — the event loop and virtual clock.
+* :mod:`repro.sim.process` — processes as generator coroutines that yield
+  :class:`~repro.sim.process.Delay` / :class:`~repro.sim.process.Acquire` /
+  :class:`~repro.sim.process.Wait` / :class:`~repro.sim.process.Get`
+  commands.
+* :mod:`repro.sim.resources` — FIFO resources (CPUs, disks), one-shot
+  events, and message queues.
+* :mod:`repro.sim.stats` — tallies and utilization trackers.
+* :mod:`repro.sim.rng` — deterministic random streams.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.process import Acquire, Delay, Get, Process, Wait
+from repro.sim.resources import FIFOQueue, Resource, SimEvent
+from repro.sim.rng import RandomSource
+from repro.sim.stats import Tally, UtilizationTracker
+
+__all__ = [
+    "Engine",
+    "Acquire",
+    "Delay",
+    "Get",
+    "Process",
+    "Wait",
+    "FIFOQueue",
+    "Resource",
+    "SimEvent",
+    "RandomSource",
+    "Tally",
+    "UtilizationTracker",
+]

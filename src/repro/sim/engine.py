@@ -1,0 +1,77 @@
+"""The discrete-event loop.
+
+Events are ``(time, sequence, callback)`` triples on a heap; the sequence
+number makes same-time events FIFO and the ordering deterministic.  Time is
+a float in *microseconds* throughout the library, matching the machine cost
+models.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.process import Process
+
+
+class Engine:
+    """Event heap plus virtual clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._processes: list["Process"] = []
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when``."""
+        self.schedule(when - self.now, callback)
+
+    def spawn(self, generator, name: str = "") -> "Process":
+        """Create and start a :class:`Process` from a generator."""
+        from repro.sim.process import Process
+
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        proc.start()
+        return proc
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event heap, optionally stopping at time ``until``.
+
+        Returns the final clock value.  The clock never runs backwards; if
+        ``until`` is given, events past it are left on the heap and the
+        clock is advanced exactly to ``until``.
+        """
+        while self._heap:
+            when, _, callback = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if when < self.now:
+                raise SimulationError("event heap time went backwards")
+            self.now = when
+            callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def blocked_processes(self) -> list["Process"]:
+        """Processes that are neither finished nor scheduled to run."""
+        return [p for p in self._processes if p.blocked]

@@ -1,0 +1,116 @@
+"""Processes as generator coroutines.
+
+A simulation process is a Python generator that yields *commands*:
+
+``Delay(duration)``
+    Sleep for ``duration`` microseconds of virtual time.
+``Acquire(resource, amount)``
+    Block until ``amount`` units of the resource are granted; the process
+    must later call ``resource.release(amount)``.
+``Wait(event)``
+    Block until the one-shot event fires; resumes with its payload.
+``Get(queue)``
+    Block until a message is available in the FIFO queue; resumes with it.
+
+The generator's ``return`` value is stored on ``process.result`` and the
+process's ``done`` event fires, so processes can join each other with
+``yield Wait(other.done)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.sim.resources import FIFOQueue, Resource, SimEvent
+
+
+@dataclass(frozen=True)
+class Delay:
+    duration: float
+
+
+@dataclass(frozen=True)
+class Acquire:
+    resource: "Resource"
+    amount: int = 1
+
+
+@dataclass(frozen=True)
+class Wait:
+    event: "SimEvent"
+
+
+@dataclass(frozen=True)
+class Get:
+    queue: "FIFOQueue"
+
+
+class Process:
+    """One coroutine process driven by the engine."""
+
+    def __init__(self, engine: "Engine", generator, name: str = "") -> None:
+        from repro.sim.resources import SimEvent
+
+        self.engine = engine
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self.finished = False
+        self.result: Any = None
+        self.started_at: float = engine.now
+        self.finished_at: float | None = None
+        #: fires with ``result`` when the generator returns
+        self.done: SimEvent = SimEvent(engine)
+        self._waiting = False
+
+    @property
+    def blocked(self) -> bool:
+        """True while the process is waiting on a resource/event/queue."""
+        return self._waiting and not self.finished
+
+    def start(self) -> None:
+        """Run the generator to its first command."""
+        self._step(None)
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator with ``value`` and interpret its command."""
+        self._waiting = False
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.finished_at = self.engine.now
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        if isinstance(command, Delay):
+            self.engine.schedule(command.duration, lambda: self._step(None))
+        elif isinstance(command, Acquire):
+            self._waiting = True
+            command.resource._enqueue(self, command.amount)
+        elif isinstance(command, Wait):
+            self._waiting = True
+            command.event._add_waiter(self)
+        elif isinstance(command, Get):
+            self._waiting = True
+            command.queue._add_getter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {command!r}, which is not a "
+                "simulation command"
+            )
+
+    def _resume(self, value: Any) -> None:
+        """Called by resources/events when the process unblocks."""
+        # Resume via the event heap so wakeups at the same instant stay FIFO.
+        self.engine.schedule(0.0, lambda: self._step(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else (
+            "blocked" if self._waiting else "running"
+        )
+        return f"Process({self.name!r}, {state})"

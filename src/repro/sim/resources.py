@@ -1,0 +1,131 @@
+"""Resources, events and message queues for the simulation engine.
+
+:class:`Resource` is a counted FIFO resource (a bank of CPUs, a disk).
+:class:`SimEvent` is a one-shot broadcast event carrying a payload.
+:class:`FIFOQueue` is an unbounded message queue; blocked getters are
+served in arrival order.  These three primitives are enough to build the
+paper's evaluation: CPU scheduling, lock managers, and the kernel-to-manager
+fault IPC are all layered on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+    from repro.sim.process import Process
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Processes obtain units by yielding ``Acquire(resource, amount)`` and
+    must return them with :meth:`release`.  Grants are strictly FIFO: a
+    large request at the head of the queue blocks later small ones (no
+    starvation).
+    """
+
+    def __init__(self, engine: "Engine", capacity: int, name: str = "") -> None:
+        if capacity <= 0:
+            raise SimulationError("resource capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[tuple["Process", int]] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _enqueue(self, process: "Process", amount: int) -> None:
+        if amount <= 0 or amount > self.capacity:
+            raise SimulationError(
+                f"cannot acquire {amount} units of a capacity-"
+                f"{self.capacity} resource"
+            )
+        self._waiters.append((process, amount))
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiters:
+            process, amount = self._waiters[0]
+            if amount > self.available:
+                return
+            self._waiters.popleft()
+            self.in_use += amount
+            process._resume(amount)
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units and wake eligible waiters."""
+        if amount <= 0 or amount > self.in_use:
+            raise SimulationError(
+                f"release of {amount} units but only {self.in_use} in use"
+            )
+        self.in_use -= amount
+        self._grant()
+
+
+class SimEvent:
+    """A one-shot event; every waiter resumes with the fired payload.
+
+    Waiting on an already-fired event resumes immediately --- there is no
+    lost-wakeup race.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.fired = False
+        self.payload: Any = None
+        self._waiters: list["Process"] = []
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.fired:
+            process._resume(self.payload)
+        else:
+            self._waiters.append(process)
+
+    def fire(self, payload: Any = None) -> None:
+        """Fire the event, waking every waiter with ``payload``."""
+        if self.fired:
+            raise SimulationError("SimEvent fired twice")
+        self.fired = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume(payload)
+
+
+class FIFOQueue:
+    """An unbounded FIFO message queue with blocking ``Get``."""
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque["Process"] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append an item, waking the oldest blocked getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter._resume(item)
+        else:
+            self._items.append(item)
+
+    def _add_getter(self, process: "Process") -> None:
+        if self._items:
+            process._resume(self._items.popleft())
+        else:
+            self._getters.append(process)

@@ -1,0 +1,63 @@
+"""Deterministic random streams.
+
+Every stochastic experiment draws from a :class:`RandomSource` seeded by
+the experiment driver, so runs are reproducible bit-for-bit.  Substreams
+(one per workload component) keep the components' draws independent of one
+another's consumption order.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class RandomSource:
+    """A seeded random stream with named substreams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._substreams: dict[str, "RandomSource"] = {}
+
+    def substream(self, name: str) -> "RandomSource":
+        """A child stream deterministically derived from (seed, name)."""
+        if name not in self._substreams:
+            child_seed = random.Random((self.seed, name).__repr__()).getrandbits(64)
+            self._substreams[name] = RandomSource(child_seed)
+        return self._substreams[name]
+
+    def exponential(self, mean: float) -> float:
+        """An exponential variate with the given mean."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self._rng.expovariate(1.0 / mean)
+
+    def uniform(self, lo: float, hi: float) -> float:
+        """A uniform variate in [lo, hi]."""
+        return self._rng.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """A uniform integer in [lo, hi] inclusive."""
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        """A uniform variate in [0, 1)."""
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """A uniformly chosen element of ``seq``."""
+        return self._rng.choice(seq)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._rng.shuffle(items)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range: {p}")
+        return self._rng.random() < p

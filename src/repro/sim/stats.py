@@ -1,0 +1,90 @@
+"""Statistics collection for simulation experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Tally:
+    """Accumulates observations; reports mean, max, and percentiles.
+
+    Keeps every observation (experiments here are small enough), which
+    makes exact percentiles and worst-case values available --- Table 4
+    reports both the average and the worst-case response time.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def stddev(self) -> float:
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self._values) / (n - 1))
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0 <= p <= 100), nearest-rank."""
+        if not self._values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def values(self) -> list[float]:
+        """A copy of every observation, in arrival order."""
+        return list(self._values)
+
+
+@dataclass
+class UtilizationTracker:
+    """Tracks the time-integral of a level (e.g. busy CPUs over time)."""
+
+    level: float = 0.0
+    last_change: float = 0.0
+    area: float = 0.0
+    peak: float = field(default=0.0)
+
+    def update(self, now: float, new_level: float) -> None:
+        """Record that the level changed to ``new_level`` at time ``now``."""
+        if now < self.last_change:
+            raise ValueError("utilization time went backwards")
+        self.area += self.level * (now - self.last_change)
+        self.level = new_level
+        self.last_change = now
+        self.peak = max(self.peak, new_level)
+
+    def mean_level(self, now: float) -> float:
+        """Average level over [0, now]."""
+        if now <= 0:
+            return 0.0
+        return (self.area + self.level * (now - self.last_change)) / now

@@ -1,0 +1,30 @@
+"""The System Page Cache Manager and the memory market.
+
+The SPCM is the process-level module that allocates the global frame pool
+among segment managers (paper, S2.4).  It can grant, defer or refuse a
+request; it supports requests for specific physical addresses or ranges
+(placement control, page coloring); and it prices memory in *drams* ---
+a process holding M megabytes for T seconds at rate D is charged M*D*T,
+against an income of I drams per second.
+"""
+
+from repro.spcm.market import DramAccount, MarketConfig, MemoryMarket
+from repro.spcm.policy import (
+    AllocationDecision,
+    AllocationPolicy,
+    MarketPolicy,
+    ReservePolicy,
+)
+from repro.spcm.spcm import FrameRequest, SystemPageCacheManager
+
+__all__ = [
+    "DramAccount",
+    "MarketConfig",
+    "MemoryMarket",
+    "AllocationDecision",
+    "AllocationPolicy",
+    "MarketPolicy",
+    "ReservePolicy",
+    "FrameRequest",
+    "SystemPageCacheManager",
+]

@@ -1,0 +1,190 @@
+"""The memory market: pricing physical memory in drams.
+
+"The SPCM imposes a charge on a process for the memory that it uses over a
+given period of time in an artificial monetary unit we call a dram.  That
+is, a process holding M megabytes of memory over T seconds is charged
+M * D * T drams, if the charging rate is D drams per megabyte-second.  A
+process is provided with an income of I drams per second" (paper, S2.4).
+
+The refinements the paper lists are all implemented:
+
+* free use when there is no competing demand for memory;
+* a savings tax, so demand cannot hoard in a fixed-price market;
+* an I/O charge, so scan-structured programs cannot dodge the memory
+  charge with excessive I/O;
+* forced return of memory from processes that exhaust their drams.
+
+Time is supplied by the caller (seconds); the market itself is clockless,
+so it composes with either real experiments or the discrete-event engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InsufficientFundsError
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Market parameters."""
+
+    price_per_mb_second: float = 1.0     # D
+    income_per_second: float = 16.0      # I (per account, default)
+    savings_tax_rate: float = 0.01       # fraction of balance taxed per second
+    savings_tax_threshold: float = 100.0  # balance under this is never taxed
+    io_charge_per_mb: float = 0.5        # dram charge per MB of I/O
+    free_when_uncontended: bool = True   # no charge absent outstanding demand
+
+
+@dataclass
+class DramAccount:
+    """One process's dram account."""
+
+    name: str
+    balance: float = 0.0
+    income_per_second: float = 16.0
+    holding_mb: float = 0.0
+    last_update: float = 0.0
+    total_income: float = field(default=0.0)
+    total_memory_charges: float = field(default=0.0)
+    total_io_charges: float = field(default=0.0)
+    total_tax: float = field(default=0.0)
+    #: integral of holding_mb over time (for share-of-machine checks)
+    holding_mb_seconds: float = field(default=0.0)
+
+
+class MemoryMarket:
+    """Accrues income and charges for every registered account."""
+
+    def __init__(self, config: MarketConfig | None = None) -> None:
+        self.config = config if config is not None else MarketConfig()
+        self.accounts: dict[str, DramAccount] = {}
+        self.now: float = 0.0
+        #: set by the SPCM when requests are waiting (enables charging
+        #: under the free-when-uncontended refinement)
+        self.demand_outstanding: bool = False
+        #: drams collected by the system (charges + taxes - income paid)
+        self.system_sink: float = 0.0
+
+    def open_account(
+        self, name: str, income_per_second: float | None = None
+    ) -> DramAccount:
+        """Create an account (income defaults to the market config)."""
+        if name in self.accounts:
+            raise ValueError(f"account {name!r} already exists")
+        account = DramAccount(
+            name,
+            income_per_second=(
+                income_per_second
+                if income_per_second is not None
+                else self.config.income_per_second
+            ),
+            last_update=self.now,
+        )
+        self.accounts[name] = account
+        return account
+
+    def account(self, name: str) -> DramAccount:
+        """The named account."""
+        return self.accounts[name]
+
+    # -- time ------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Advance the market clock, accruing income, charges and tax."""
+        if now < self.now:
+            raise ValueError("market clock cannot run backwards")
+        dt = now - self.now
+        if dt == 0:
+            return
+        charging = self.demand_outstanding or not self.config.free_when_uncontended
+        for account in self.accounts.values():
+            income = account.income_per_second * dt
+            account.balance += income
+            account.total_income += income
+            account.holding_mb_seconds += account.holding_mb * dt
+            self.system_sink -= income
+            if charging and account.holding_mb > 0:
+                charge = (
+                    account.holding_mb * self.config.price_per_mb_second * dt
+                )
+                account.balance -= charge
+                account.total_memory_charges += charge
+                self.system_sink += charge
+            taxable = account.balance - self.config.savings_tax_threshold
+            if taxable > 0:
+                tax = taxable * self.config.savings_tax_rate * dt
+                account.balance -= tax
+                account.total_tax += tax
+                self.system_sink += tax
+            account.last_update = now
+        self.now = now
+
+    # -- charges -----------------------------------------------------------
+
+    def charge_io(self, name: str, mb_transferred: float) -> float:
+        """The I/O charge that keeps scan programs honest."""
+        if mb_transferred < 0:
+            raise ValueError("negative I/O volume")
+        charge = mb_transferred * self.config.io_charge_per_mb
+        account = self.accounts[name]
+        account.balance -= charge
+        account.total_io_charges += charge
+        self.system_sink += charge
+        return charge
+
+    def set_holding(self, name: str, holding_mb: float) -> None:
+        """Record an account's current memory holding (charged by advance)."""
+        if holding_mb < 0:
+            raise ValueError("negative holding")
+        self.accounts[name].holding_mb = holding_mb
+
+    # -- queries segment managers use to plan (S2.4) --------------------------
+
+    def affordable_seconds(self, name: str, holding_mb: float) -> float:
+        """How long the account can hold ``holding_mb`` before going broke.
+
+        Net drain rate is the price minus income; a non-positive drain
+        means the holding is sustainable indefinitely (returns ``inf``).
+        """
+        account = self.accounts[name]
+        drain = (
+            holding_mb * self.config.price_per_mb_second
+            - account.income_per_second
+        )
+        if drain <= 0:
+            return float("inf")
+        return max(0.0, account.balance / drain)
+
+    def seconds_until_affordable(
+        self, name: str, holding_mb: float, run_seconds: float
+    ) -> float:
+        """How long to save before affording ``holding_mb`` for
+        ``run_seconds`` (the batch save-then-run tradeoff)."""
+        account = self.accounts[name]
+        needed = holding_mb * self.config.price_per_mb_second * run_seconds
+        shortfall = needed - account.balance
+        if shortfall <= 0:
+            return 0.0
+        if account.income_per_second <= 0:
+            return float("inf")
+        return shortfall / account.income_per_second
+
+    def is_broke(self, name: str) -> bool:
+        """True when the SPCM should force memory back from the account."""
+        return self.accounts[name].balance < 0
+
+    def require_funds(self, name: str, amount: float) -> None:
+        """Raise unless the account can cover ``amount`` drams."""
+        account = self.accounts[name]
+        if account.balance < amount:
+            raise InsufficientFundsError(
+                f"account {name!r} has {account.balance:.1f} drams, "
+                f"needs {amount:.1f}"
+            )
+
+    def total_drams(self) -> float:
+        """Conservation check: account balances plus the system sink are
+        zero in aggregate (every dram paid out came from the sink)."""
+        return sum(a.balance for a in self.accounts.values()) + self.system_sink

@@ -1,0 +1,288 @@
+"""The System Page Cache Manager (SPCM).
+
+A process-level module that owns the global frame pool --- the well-known
+boot segment holding every frame in physical-address order --- and
+allocates frames to segment managers on request (paper, S2.4).  It
+supports requests constrained by physical address range or page color
+(placement control / coloring), partially satisfies constrained requests
+it cannot fill ("it allocates and provides as many page frames as it can"),
+and optionally prices memory through the :class:`~repro.spcm.market.MemoryMarket`.
+
+Frames returned by one account and granted to another are flagged
+``ZERO_FILL`` so the kernel zeroes them in transit --- the paper's point
+that zeroing is needed only "if the page is being given to another user".
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+
+from repro.core.flags import PageFlags
+from repro.core.kernel import Kernel
+from repro.core.manager_api import SegmentManager
+from repro.core.segment import Segment
+from repro.errors import AllocationRefusedError, SPCMError
+from repro.spcm.market import MemoryMarket
+from repro.spcm.policy import (
+    AllocationDecision,
+    AllocationPolicy,
+    ReservePolicy,
+)
+
+
+@dataclass(frozen=True)
+class FrameRequest:
+    """A segment manager's request for frames."""
+
+    account: str
+    n_frames: int
+    page_size: int | None = None           # default: the base page size
+    phys_lo: int | None = None             # physical address range [lo, hi)
+    phys_hi: int | None = None
+    colors: frozenset[int] | None = None   # acceptable page colors
+    n_colors: int | None = None            # color modulus (required w/ colors)
+
+
+class SystemPageCacheManager:
+    """Allocates the global frame pool among segment managers."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        policy: AllocationPolicy | None = None,
+        market: MemoryMarket | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.policy = policy if policy is not None else ReservePolicy()
+        self.market = market
+        # free pool per page size: sorted boot-segment page indices
+        self._free: dict[int, list[int]] = {}
+        # every frame's home (boot segment, boot page index)
+        self._home: dict[int, tuple[Segment, int]] = {}
+        # which account last held each frame (zero-fill decision)
+        self._last_account: dict[int, str] = {}
+        self.frames_held: dict[str, int] = {}
+        self._accounts: dict[str, str] = {}  # manager name -> account name
+        self.deferred_requests = 0
+        self.refused_requests = 0
+        self.granted_frames = 0
+        for boot in kernel.boot_segments.values():
+            free = self._free.setdefault(boot.page_size, [])
+            for page, frame in sorted(boot.pages.items()):
+                free.append(page)
+                self._home[frame.pfn] = (boot, page)
+
+    # -- registration -------------------------------------------------------
+
+    def register_manager(
+        self, manager: SegmentManager, account: str | None = None
+    ) -> str:
+        """Associate a manager with a (market) account name."""
+        name = account or manager.name
+        self._accounts[manager.name] = name
+        self.frames_held.setdefault(name, 0)
+        if self.market is not None and name not in self.market.accounts:
+            self.market.open_account(name)
+        return name
+
+    def account_of(self, manager: SegmentManager) -> str:
+        """The account a manager's holdings are charged to."""
+        return self._accounts.get(manager.name, manager.name)
+
+    # -- queries (what segment managers plan against, S2.4) --------------------
+
+    def available_frames(self, page_size: int | None = None) -> int:
+        """Frames in the pool for one page size."""
+        size = page_size or self.kernel.memory.page_size
+        return len(self._free.get(size, []))
+
+    def held_by(self, account: str) -> int:
+        """Frames currently granted to ``account``."""
+        return self.frames_held.get(account, 0)
+
+    # -- allocation ------------------------------------------------------------
+
+    def request_frames(
+        self,
+        manager: SegmentManager,
+        request: FrameRequest,
+        dst_segment: Segment,
+    ) -> list[int]:
+        """Grant frames into ``dst_segment`` (appended); returns their
+        page indices there.
+
+        Returns ``[]`` when the request is deferred.  Raises
+        :class:`AllocationRefusedError` when policy refuses outright.
+        Physical-address or color constraints narrow the candidate set;
+        a constrained request that cannot be fully met is partially
+        granted rather than failed.
+        """
+        if request.n_frames <= 0:
+            raise SPCMError("must request at least one frame")
+        size = request.page_size or self.kernel.memory.page_size
+        boot = self.kernel.boot_segments.get(size)
+        if boot is None:
+            raise SPCMError(f"no frames of page size {size}")
+        if dst_segment.page_size != size:
+            raise SPCMError(
+                "destination segment page size does not match request"
+            )
+        account = self.account_of(manager)
+        candidates = self._matching_free_pages(boot, size, request)
+        # policy judges against the whole pool; physical constraints then
+        # clamp the grant to what actually matches ("as many page frames
+        # as it can", S2.4)
+        verdict = self.policy.decide(
+            account, request.n_frames, len(self._free.get(size, [])), size
+        )
+        if verdict.decision is AllocationDecision.REFUSE:
+            self.refused_requests += 1
+            raise AllocationRefusedError(
+                f"SPCM refused {request.n_frames} frames for {account!r}"
+            )
+        n_grant = min(verdict.n_frames, len(candidates))
+        if verdict.decision is AllocationDecision.DEFER or n_grant == 0:
+            self.deferred_requests += 1
+            if self.market is not None:
+                self.market.demand_outstanding = True
+            return []
+        chosen = candidates[:n_grant]
+        granted_pages: list[int] = []
+        free = self._free[size]
+        for boot_page in chosen:
+            free.remove(boot_page)
+            frame = boot.pages[boot_page]
+            previous = self._last_account.get(frame.pfn)
+            if previous is not None and previous != account:
+                frame.flags |= int(PageFlags.ZERO_FILL)
+            self._last_account[frame.pfn] = account
+        # migrate contiguous boot runs with single MigratePages calls,
+        # attributed to the SPCM (it is the invoking module)
+        with self.kernel.attribute("SPCM"):
+            run_start = 0
+            while run_start < len(chosen):
+                run_end = run_start + 1
+                while (
+                    run_end < len(chosen)
+                    and chosen[run_end] == chosen[run_end - 1] + 1
+                ):
+                    run_end += 1
+                n_run = run_end - run_start
+                dst_page = dst_segment.n_pages
+                dst_segment.grow(n_run)
+                self.kernel.migrate_pages(
+                    boot,
+                    dst_segment,
+                    chosen[run_start],
+                    dst_page,
+                    n_run,
+                    set_flags=PageFlags.READ | PageFlags.WRITE,
+                    clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                )
+                granted_pages.extend(range(dst_page, dst_page + n_run))
+                run_start = run_end
+        self.frames_held[account] = (
+            self.frames_held.get(account, 0) + len(granted_pages)
+        )
+        self.granted_frames += len(granted_pages)
+        self._update_market_holding(account, size)
+        return granted_pages
+
+    def _matching_free_pages(
+        self, boot: Segment, size: int, request: FrameRequest
+    ) -> list[int]:
+        """Free boot pages satisfying the request's physical constraints."""
+        free = self._free.get(size, [])
+        if (
+            request.phys_lo is None
+            and request.phys_hi is None
+            and request.colors is None
+        ):
+            return list(free)
+        if request.colors is not None and not request.n_colors:
+            raise SPCMError("color constraint requires n_colors")
+        matching = []
+        for page in free:
+            frame = boot.pages[page]
+            if request.phys_lo is not None and frame.phys_addr < request.phys_lo:
+                continue
+            if request.phys_hi is not None and frame.phys_addr >= request.phys_hi:
+                continue
+            if request.colors is not None:
+                assert request.n_colors is not None
+                if frame.color(request.n_colors) not in request.colors:
+                    continue
+            matching.append(page)
+        return matching
+
+    # -- return and reclamation --------------------------------------------------
+
+    def return_frames(
+        self,
+        manager: SegmentManager,
+        src_segment: Segment,
+        pages: list[int],
+    ) -> None:
+        """Take frames back from a manager's segment into the pool."""
+        if not pages:
+            return
+        account = self.account_of(manager)
+        size = src_segment.page_size
+        with self.kernel.attribute("SPCM"):
+            for page in pages:
+                frame = src_segment.pages.get(page)
+                if frame is None:
+                    raise SPCMError(
+                        f"page {page} of {src_segment.name} has no frame "
+                        "to return"
+                    )
+                home_boot, home_page = self._home[frame.pfn]
+                self.kernel.migrate_pages(
+                    src_segment,
+                    home_boot,
+                    page,
+                    home_page,
+                    1,
+                    clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                )
+                insort(self._free[size], home_page)
+        held = self.frames_held.get(account, 0)
+        self.frames_held[account] = max(0, held - len(pages))
+        self._update_market_holding(account, size)
+        if self.market is not None and self.available_frames(size) > 0:
+            self.market.demand_outstanding = False
+
+    def force_reclaim(self, manager: SegmentManager, n_frames: int) -> int:
+        """Demand frames back (the broke-account case); returns count freed."""
+        return manager.release_frames(n_frames)
+
+    def charge_io(self, manager: SegmentManager, n_bytes: int) -> float:
+        """Bill a manager's backing-store traffic to its dram account.
+
+        "There is a charge for I/O ... which prevents such programs from
+        avoiding the memory charge with excessive I/O" (S2.4).  A no-op
+        without a market; returns the drams charged.
+        """
+        if self.market is None or n_bytes <= 0:
+            return 0.0
+        account = self.account_of(manager)
+        if account not in self.market.accounts:
+            return 0.0
+        return self.market.charge_io(account, n_bytes / (1024.0 * 1024.0))
+
+    # -- market plumbing ------------------------------------------------------------
+
+    def advance_market(self, now_seconds: float) -> None:
+        """Advance market time; force reclaim from broke accounts."""
+        if self.market is None:
+            return
+        self.market.advance(now_seconds)
+
+    def _update_market_holding(self, account: str, page_size: int) -> None:
+        if self.market is None or account not in self.market.accounts:
+            return
+        holding_mb = (
+            self.frames_held.get(account, 0) * page_size / (1024.0 * 1024.0)
+        )
+        self.market.set_holding(account, holding_mb)

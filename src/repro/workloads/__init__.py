@@ -1,0 +1,61 @@
+"""Unix application workloads for the default-manager study (S3.2).
+
+The paper runs diff, uncompress and latex on V++ and ULTRIX with their
+input files cached in memory.  We reconstruct each program as a *reference
+trace* --- page first-touches, sequential file reads/writes, open/close
+requests, and compute --- and drive the trace through both the V++ default
+manager and the ULTRIX model.  The traces are parameterized so that the
+measured VM activity (manager calls, MigratePages calls) lands on the
+paper's Table 3 counts; the VM *costs* then emerge from the cost models.
+"""
+
+from repro.workloads.adaptive_gc import (
+    AdaptiveGCApplication,
+    GCStats,
+    run_gc_workload,
+)
+from repro.workloads.apps import (
+    AppModel,
+    diff_model,
+    latex_model,
+    standard_applications,
+    uncompress_model,
+)
+from repro.workloads.mp3d import MP3DConfig, MP3DModel
+from repro.workloads.runner import (
+    RunResult,
+    run_on_ultrix,
+    run_on_vpp,
+)
+from repro.workloads.traces import (
+    CloseFile,
+    Compute,
+    OpenFile,
+    ReadFileSeq,
+    TouchRegion,
+    TraceEvent,
+    WriteFileSeq,
+)
+
+__all__ = [
+    "AdaptiveGCApplication",
+    "GCStats",
+    "run_gc_workload",
+    "MP3DConfig",
+    "MP3DModel",
+    "AppModel",
+    "diff_model",
+    "latex_model",
+    "standard_applications",
+    "uncompress_model",
+    "RunResult",
+    "run_on_ultrix",
+    "run_on_vpp",
+    "CloseFile",
+    "Compute",
+    "OpenFile",
+    "ReadFileSeq",
+    "TouchRegion",
+    "TraceEvent",
+    "WriteFileSeq",
+]

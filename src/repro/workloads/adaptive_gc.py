@@ -1,0 +1,199 @@
+"""A garbage-collected runtime that adapts to physical memory (S1).
+
+"A run-time memory management library using garbage collection can adapt
+the frequency of collections to available physical memory, if this
+information is available to it."
+
+The model: a bump allocator over a heap segment managed by a
+:class:`~repro.managers.discard_manager.DiscardableSegmentManager`.  When
+a collection runs, the survivors stay live and the rest of the allocated
+pages become garbage --- marked discardable, so their eviction costs no
+writeback.
+
+Two policies:
+
+* **adaptive** — collect when the allocated footprint reaches the
+  *physical memory actually available* (manager stock + SPCM pool), so
+  the heap never outgrows real memory;
+* **oblivious** — collect at a fixed virtual-heap threshold, the way a
+  runtime without memory knowledge must; when the threshold exceeds
+  physical memory, live dirty pages get paged out (writeback I/O) and
+  touched again later (page-in I/O) --- thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernel import Kernel
+from repro.core.segment import Segment
+from repro.errors import WorkloadError
+from repro.managers.discard_manager import DiscardableSegmentManager
+
+
+@dataclass
+class GCStats:
+    collections: int = 0
+    pages_allocated: int = 0
+    garbage_pages_discarded: int = 0
+    live_pages_written_back: int = 0
+    live_pages_refetched: int = 0
+
+    @property
+    def paging_io_operations(self) -> int:
+        """Writebacks plus refetches of *live* data: the thrash metric."""
+        return self.live_pages_written_back + self.live_pages_refetched
+
+
+class AdaptiveGCApplication:
+    """A toy generational runtime over a managed heap segment."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        manager: DiscardableSegmentManager,
+        heap_pages: int,
+        survivor_fraction: float = 0.25,
+        adaptive: bool = True,
+        fixed_threshold_pages: int | None = None,
+    ) -> None:
+        if not 0.0 <= survivor_fraction < 1.0:
+            raise WorkloadError("survivor fraction must be in [0, 1)")
+        self.kernel = kernel
+        self.manager = manager
+        self.heap: Segment = kernel.create_segment(
+            heap_pages, name="gc-heap", manager=manager
+        )
+        self.survivor_fraction = survivor_fraction
+        self.adaptive = adaptive
+        self.fixed_threshold_pages = fixed_threshold_pages
+        self.stats = GCStats()
+        self._live_pages: list[int] = []
+        self._young_pages: list[int] = []
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def allocation_budget_pages(self) -> int:
+        """How many pages the runtime lets itself allocate before a GC."""
+        if self.adaptive:
+            # the S1 adaptation: physical memory actually available
+            return self.manager.memory_available() + len(self._live_pages)
+        if self.fixed_threshold_pages is None:
+            raise WorkloadError("oblivious mode needs a fixed threshold")
+        return self.fixed_threshold_pages
+
+    def allocate_pages(self, n_pages: int) -> None:
+        """Bump-allocate and dirty ``n_pages`` of fresh objects."""
+        for _ in range(n_pages):
+            if self._footprint() >= self.allocation_budget_pages():
+                self.collect()
+            page = self._next_page()
+            writebacks_before = self.manager.writebacks_done
+            self.kernel.reference(
+                self.heap, page * self.heap.page_size, write=True
+            )
+            # an eviction forced by this allocation that wrote live data
+            self.stats.live_pages_written_back += (
+                self.manager.writebacks_done - writebacks_before
+            )
+            self._young_pages.append(page)
+            self.stats.pages_allocated += 1
+
+    def touch_live_set(self) -> None:
+        """The mutator revisits its live data (generational behavior)."""
+        for page in self._live_pages:
+            resident_before = page in self.heap.pages
+            self.kernel.reference(self.heap, page * self.heap.page_size)
+            if not resident_before:
+                self.stats.live_pages_refetched += 1
+
+    def _footprint(self) -> int:
+        return len(self._live_pages) + len(self._young_pages)
+
+    def _next_page(self) -> int:
+        for _ in range(self.heap.n_pages):
+            page = self._cursor
+            self._cursor = (self._cursor + 1) % self.heap.n_pages
+            if page not in self._live_pages and page not in self._young_pages:
+                return page
+        raise WorkloadError("virtual heap exhausted; raise heap_pages")
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+
+    def collect(self) -> int:
+        """Collect the young generation; returns pages of garbage found.
+
+        Survivors are promoted; everything else is declared garbage to the
+        manager (discardable --- "garbage pages can be discarded without
+        writeback", S4) and its frames reclaimed for reuse.
+        """
+        self.stats.collections += 1
+        survivors = self._young_pages[
+            : int(len(self._young_pages) * self.survivor_fraction)
+        ]
+        garbage = self._young_pages[len(survivors):]
+        self._live_pages.extend(survivors)
+        for page in garbage:
+            self.manager.mark_discardable(self.heap, page)
+            if page in self.heap.pages:
+                avoided_before = self.manager.writebacks_avoided
+                self.manager.reclaim_one(self.heap, page)
+                self.stats.garbage_pages_discarded += (
+                    self.manager.writebacks_avoided - avoided_before
+                )
+            self.manager.mark_live(self.heap, page)  # slot reusable
+        self._young_pages = []
+        return len(garbage)
+
+
+def run_gc_workload(
+    adaptive: bool,
+    physical_frames: int = 96,
+    allocation_rounds: int = 12,
+    pages_per_round: int = 24,
+    fixed_threshold_pages: int = 512,
+) -> GCStats:
+    """Drive the mutator on a machine of ``physical_frames``; returns stats.
+
+    The heap segment is backed by a file, so evicting a *live* dirty page
+    has a real writeback (and a later page-in when the mutator revisits
+    it).  The virtual heap (and the oblivious policy's threshold) exceeds
+    physical memory several-fold --- exactly the regime where memory
+    knowledge matters.
+    """
+    from repro.core.uio import FileServer
+    from repro.hw.costs import DECSTATION_5000_200
+    from repro.hw.disk import Disk
+    from repro.hw.phys_mem import PhysicalMemory
+    from repro.spcm.policy import ReservePolicy
+    from repro.spcm.spcm import SystemPageCacheManager
+
+    memory = PhysicalMemory(physical_frames * 4096)
+    kernel = Kernel(memory)
+    spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(0))
+    disk = Disk(DECSTATION_5000_200)
+    file_server = FileServer(kernel, disk)
+    manager = DiscardableSegmentManager(
+        kernel,
+        spcm,
+        file_server,
+        name=f"gc-{'adaptive' if adaptive else 'oblivious'}",
+        initial_frames=physical_frames // 2,
+    )
+    app = AdaptiveGCApplication(
+        kernel,
+        manager,
+        heap_pages=4 * fixed_threshold_pages,
+        adaptive=adaptive,
+        fixed_threshold_pages=fixed_threshold_pages,
+    )
+    file_server.create_file(app.heap)
+    for _ in range(allocation_rounds):
+        app.allocate_pages(pages_per_round)
+        app.touch_live_set()
+    return app.stats

@@ -1,0 +1,172 @@
+"""The MP3D particle simulation model (S1's running example).
+
+"MP3D, a large scale parallel particle simulation based on the Monte-Carlo
+method ... could automatically adjust the number of particles it uses for
+a run, and thus the amount of memory it requires, based on availability of
+physical memory."  And: "the large-scale particle simulation cited above
+takes approximately 12 seconds to scan its in-memory data of 200 megabytes
+for each simulated time interval ... Thus there is ample time to overlap
+prefetching and writeback if the data does not fit entirely in memory."
+
+Two facilities:
+
+* :meth:`MP3DModel.particles_for_memory` — the space-time adaptation: size
+  the particle set to the physical memory the SPCM reports available.
+* :meth:`MP3DModel.simulate_timestep` — one scan time-step with a given
+  memory shortfall, demand-paged or prefetched, over the I/O timeline;
+  :meth:`MP3DModel.overlap_feasible` is the paper's "ample time" claim as
+  an inequality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hw.costs import SGI_4D_380, MachineCosts
+from repro.managers.prefetch_manager import IOTimeline
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MP3DConfig:
+    """The paper's stated workload parameters.
+
+    The scan is strictly sequential, so the I/O model amortizes seeks over
+    long runs and uses the aggregate (striped) bandwidth --- the paper's
+    own caveat is "(and the requisite I/O bandwidth is available)".
+    """
+
+    data_mb: float = 200.0           # in-memory data per run
+    scan_seconds: float = 12.0       # one simulated time interval
+    bytes_per_particle: int = 36     # position+velocity+cell bookkeeping
+    machine: MachineCosts = SGI_4D_380
+    page_size: int = 4096
+    io_bandwidth_mb_s: float = 8.0   # striped sequential bandwidth
+    pages_per_seek: int = 64         # run length one seek amortizes over
+
+    @property
+    def n_pages(self) -> int:
+        return int(self.data_mb * MB) // self.page_size
+
+    @property
+    def compute_us_per_page(self) -> float:
+        return self.scan_seconds * 1e6 / self.n_pages
+
+    @property
+    def io_us_per_page(self) -> float:
+        """Amortized sequential cost of moving one page."""
+        transfer = self.page_size / self.io_bandwidth_mb_s
+        seek = self.machine.disk_latency_us / self.pages_per_seek
+        return transfer + seek
+
+
+class MP3DModel:
+    """Space-time adaptation and timestep simulation."""
+
+    def __init__(self, config: MP3DConfig | None = None) -> None:
+        self.config = config if config is not None else MP3DConfig()
+
+    # ------------------------------------------------------------------
+    # the adaptation S1 motivates
+    # ------------------------------------------------------------------
+
+    def particles_for_memory(self, available_mb: float) -> int:
+        """Particles that fit the available physical memory.
+
+        "The simulation can be run for a shorter amount of time if it uses
+        many runs with a large number of particles" --- so the program
+        should size its particle set to *physical* memory, which external
+        page-cache management lets it query.
+        """
+        if available_mb < 0:
+            raise WorkloadError("available memory cannot be negative")
+        return int(available_mb * MB) // self.config.bytes_per_particle
+
+    def runs_needed(self, total_particle_samples: int, available_mb: float) -> int:
+        """Runs to accumulate the required samples at this memory size."""
+        per_run = self.particles_for_memory(available_mb)
+        if per_run == 0:
+            raise WorkloadError("no memory: cannot run at all")
+        return -(-total_particle_samples // per_run)
+
+    # ------------------------------------------------------------------
+    # the overlap claim
+    # ------------------------------------------------------------------
+
+    def overlap_feasible(self, shortfall_mb: float, writeback: bool = True) -> bool:
+        """The paper's "ample time" inequality: the I/O to page the
+        shortfall in (and dirty data out) per time-step fits inside the
+        scan's compute time."""
+        io_us = self.shortfall_io_us(shortfall_mb, writeback)
+        return io_us <= self.config.scan_seconds * 1e6
+
+    def shortfall_io_us(self, shortfall_mb: float, writeback: bool = True) -> float:
+        """The I/O time to page the shortfall per time-step."""
+        if shortfall_mb < 0 or shortfall_mb > self.config.data_mb:
+            raise WorkloadError(
+                f"shortfall {shortfall_mb} MB outside [0, "
+                f"{self.config.data_mb}]"
+            )
+        pages = int(shortfall_mb * MB) // self.config.page_size
+        per_page = self.config.io_us_per_page
+        return pages * per_page * (2.0 if writeback else 1.0)
+
+    def max_overlappable_shortfall_mb(self, writeback: bool = True) -> float:
+        """The largest shortfall whose paging fully hides under compute."""
+        budget_us = self.config.scan_seconds * 1e6
+        per_page = self.config.io_us_per_page * (2.0 if writeback else 1.0)
+        pages = int(budget_us / per_page)
+        return min(
+            self.config.data_mb, pages * self.config.page_size / MB
+        )
+
+    # ------------------------------------------------------------------
+    # timestep simulation over the I/O timeline
+    # ------------------------------------------------------------------
+
+    def simulate_timestep(
+        self,
+        shortfall_mb: float,
+        prefetch: bool,
+        read_ahead: int = 16,
+        scale: int = 64,
+        writeback: bool = False,
+    ) -> float:
+        """One scan time-step in seconds, scaled down by ``scale``.
+
+        ``scale`` shrinks the page count (keeping per-page compute and
+        I/O times); durations scale linearly, so the *ratios* --- which is
+        what the feasibility claim is about --- are exact.
+        """
+        config = self.config
+        n_pages = max(1, config.n_pages // scale)
+        n_missing = int((shortfall_mb / config.data_mb) * n_pages)
+        # the shortfall is the tail of last step's scan (paged out most
+        # recently), so the scan reaches it last --- which is what gives
+        # the prefetcher its head start
+        first_missing = n_pages - n_missing
+        io = IOTimeline(config.io_us_per_page)
+        clock = 0.0
+        pending: dict[int, float] = {}
+        if prefetch:
+            # application-directed read-ahead: the access pattern is known
+            # in advance, so the fetch pipeline starts with the scan; a
+            # dirty shortfall is written out through the same device first
+            for page in range(first_missing, n_pages):
+                if writeback:
+                    io.issue(0.0)
+                pending[page] = io.issue(0.0)
+        for page in range(n_pages):
+            if page >= first_missing:
+                if prefetch:
+                    completion = pending.pop(page)
+                else:
+                    if writeback:
+                        io.issue(clock)
+                    completion = io.issue(clock)
+                clock += max(0.0, completion - clock)
+            clock += config.compute_us_per_page
+        _ = read_ahead  # pipelining depth is immaterial on one device
+        return clock * scale / 1e6

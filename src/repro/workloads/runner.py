@@ -1,0 +1,232 @@
+"""Run an application model on V++ or on ULTRIX.
+
+The V++ run builds the program's regions as segments managed by the
+default segment manager, pre-caches the input files (the paper's setup:
+"run with the files they read cached in memory"), resets the meters, and
+interprets the trace.  The ULTRIX run does the same against the
+conventional kernel.  Elapsed time is compute plus every charge the
+models accrued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import System, build_system
+from repro.baseline.ultrix_vm import ULTRIX_IO_UNIT, UltrixVM
+from repro.core.kernel import KernelStats
+from repro.core.segment import Segment
+from repro.errors import WorkloadError
+from repro.hw.costs import DECSTATION_5000_200
+from repro.hw.phys_mem import PhysicalMemory
+from repro.workloads.apps import AppModel
+from repro.workloads.traces import (
+    CloseFile,
+    Compute,
+    OpenFile,
+    ReadFileSeq,
+    TouchRegion,
+    WriteFileSeq,
+)
+
+#: the V++ I/O transfer unit (S3.2)
+VPP_IO_UNIT = 4096
+
+
+@dataclass
+class RunResult:
+    """What one application run produced."""
+
+    app: str
+    system: str
+    cpu_us: float
+    vm_us: float
+    manager_calls: int = 0
+    migrate_calls: int = 0
+    faults: int = 0
+    #: manager overhead per the paper's Table 3 formula:
+    #: (V++ default-manager fault - ULTRIX fault) x manager calls
+    manager_overhead_ms: float = 0.0
+    by_category: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed_s(self) -> float:
+        return (self.cpu_us + self.vm_us) / 1e6
+
+    @property
+    def vm_ms(self) -> float:
+        return self.vm_us / 1000.0
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Manager overhead as a fraction of elapsed time (S3.2 quotes
+        1.9% / 0.63% / 0.35%)."""
+        if self.elapsed_s == 0:
+            return 0.0
+        return (self.manager_overhead_ms / 1000.0) / self.elapsed_s
+
+
+def run_on_vpp(app: AppModel, memory_mb: int = 64) -> RunResult:
+    """Execute the application trace on the V++ system."""
+    system = build_system(memory_mb=memory_mb, manager_frames=512)
+    kernel = system.kernel
+    manager = system.default_manager
+    regions: dict[str, Segment] = {
+        name: kernel.create_segment(pages, name=f"{app.name}.{name}", manager=manager)
+        for name, pages in app.regions.items()
+    }
+    files: dict[str, Segment] = {}
+    for name, size in app.input_files.items():
+        seg = kernel.create_segment(
+            0, name=name, manager=manager, auto_grow=True
+        )
+        system.file_server.create_file(seg, data=_file_bytes(name, size))
+        files[name] = seg
+        # pre-cache: fault every page in before measurement starts
+        system.uio.read(seg, 0, size)
+    kernel.meter.reset()
+    kernel.stats = KernelStats()
+    manager.faults_handled = 0
+    cpu_us = app.cpu_us_vpp
+    for event in app.trace:
+        if isinstance(event, Compute):
+            cpu_us += event.us
+        elif isinstance(event, TouchRegion):
+            seg = regions[event.region]
+            for page in range(event.start_page, event.start_page + event.n_pages):
+                kernel.reference(seg, page * seg.page_size, write=event.write)
+        elif isinstance(event, ReadFileSeq):
+            seg = _existing_file(files, event.name)
+            for off in range(
+                event.offset, event.offset + event.n_bytes, VPP_IO_UNIT
+            ):
+                take = min(VPP_IO_UNIT, event.offset + event.n_bytes - off)
+                system.uio.read(seg, off, take)
+        elif isinstance(event, WriteFileSeq):
+            seg = _file_or_create(system, files, event.name)
+            payload = b"w" * VPP_IO_UNIT
+            for off in range(
+                event.offset, event.offset + event.n_bytes, VPP_IO_UNIT
+            ):
+                take = min(VPP_IO_UNIT, event.offset + event.n_bytes - off)
+                system.uio.write(seg, off, payload[:take])
+        elif isinstance(event, OpenFile):
+            seg = _file_or_create(system, files, event.name)
+            manager.file_opened(seg)
+        elif isinstance(event, CloseFile):
+            seg = _existing_file(files, event.name)
+            manager.file_closed(seg, writeback=False)
+        else:
+            raise WorkloadError(f"unknown trace event {event!r}")
+    costs = kernel.costs
+    calls = kernel.stats.manager_calls.get(manager.name, 0)
+    ultrix_fault = (
+        costs.trap_entry_exit
+        + costs.ultrix_fault_service
+        + costs.zero_page
+        + costs.map_update
+    )
+    vpp_fault = (
+        costs.trap_entry_exit
+        + costs.vpp_fault_dispatch
+        + 2 * (costs.ipc_message + costs.context_switch)
+        + costs.vpp_manager_alloc
+        + costs.vpp_migrate_call
+        + costs.vpp_kernel_resume
+    )
+    return RunResult(
+        app=app.name,
+        system="V++",
+        cpu_us=cpu_us,
+        vm_us=kernel.meter.total_us,
+        manager_calls=calls,
+        migrate_calls=kernel.stats.migrate_calls_by_manager.get(
+            manager.name, 0
+        ),
+        faults=kernel.stats.faults,
+        manager_overhead_ms=(vpp_fault - ultrix_fault) * calls / 1000.0,
+        by_category=kernel.meter.snapshot(),
+    )
+
+
+def run_on_ultrix(app: AppModel, memory_mb: int = 64) -> RunResult:
+    """Execute the application trace on the ULTRIX model."""
+    memory = PhysicalMemory(memory_mb * 1024 * 1024)
+    vm = UltrixVM(memory, costs=DECSTATION_5000_200)
+    page_size = memory.page_size
+    # one flat space; regions laid out in order
+    layout: dict[str, int] = {}
+    cursor = 0
+    for name, pages in app.regions.items():
+        layout[name] = cursor
+        cursor += pages
+    space = vm.create_space(cursor)
+    for name, size in app.input_files.items():
+        vm.create_file(name, data=_file_bytes(name, size))
+        vm.cache_file(name)
+    vm.meter.reset()
+    cpu_us = app.cpu_us_ultrix
+    for event in app.trace:
+        if isinstance(event, Compute):
+            cpu_us += event.us
+        elif isinstance(event, TouchRegion):
+            base = layout[event.region]
+            for page in range(event.start_page, event.start_page + event.n_pages):
+                vm.reference(
+                    space, (base + page) * page_size, write=event.write
+                )
+        elif isinstance(event, ReadFileSeq):
+            for off in range(
+                event.offset, event.offset + event.n_bytes, ULTRIX_IO_UNIT
+            ):
+                take = min(ULTRIX_IO_UNIT, event.offset + event.n_bytes - off)
+                vm.read(event.name, off, take)
+        elif isinstance(event, WriteFileSeq):
+            if event.name not in vm._files:
+                vm.create_file(event.name)
+            payload = b"w" * ULTRIX_IO_UNIT
+            for off in range(
+                event.offset, event.offset + event.n_bytes, ULTRIX_IO_UNIT
+            ):
+                take = min(ULTRIX_IO_UNIT, event.offset + event.n_bytes - off)
+                vm.write(event.name, off, payload[:take])
+        elif isinstance(event, (OpenFile, CloseFile)):
+            if isinstance(event, OpenFile) and event.name not in vm._files:
+                vm.create_file(event.name)
+            vm.meter.charge("open_close", vm.costs.syscall)
+        else:
+            raise WorkloadError(f"unknown trace event {event!r}")
+    return RunResult(
+        app=app.name,
+        system="ULTRIX",
+        cpu_us=cpu_us,
+        vm_us=vm.meter.total_us,
+        faults=vm.stats.faults,
+        by_category=vm.meter.snapshot(),
+    )
+
+
+def _file_bytes(name: str, size: int) -> bytes:
+    """Deterministic file contents (round-trip checks need real bytes)."""
+    pattern = (name.encode() + b"-") * (size // (len(name) + 1) + 1)
+    return pattern[:size]
+
+
+def _existing_file(files: dict[str, Segment], name: str) -> Segment:
+    try:
+        return files[name]
+    except KeyError:
+        raise WorkloadError(f"file {name!r} was never created") from None
+
+
+def _file_or_create(
+    system: System, files: dict[str, Segment], name: str
+) -> Segment:
+    seg = files.get(name)
+    if seg is None:
+        seg = system.kernel.create_segment(
+            0, name=name, manager=system.default_manager, auto_grow=True
+        )
+        system.file_server.create_file(seg)
+        files[name] = seg
+    return seg

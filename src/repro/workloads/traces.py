@@ -1,0 +1,66 @@
+"""Reference-trace events.
+
+A workload is a list of events; the runner interprets them against either
+system.  File reads/writes are *logical* (whole streams); the runner
+chunks them into the system's I/O transfer unit (V++ 4 KB, ULTRIX 8 KB ---
+"V++ makes twice as many read and write operations to the kernel", S3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Burn CPU for ``us`` microseconds (not VM time)."""
+
+    us: float
+
+
+@dataclass(frozen=True)
+class TouchRegion:
+    """First-touch a run of pages in a named memory region."""
+
+    region: str
+    start_page: int
+    n_pages: int
+    write: bool = True
+
+
+@dataclass(frozen=True)
+class ReadFileSeq:
+    """Sequentially read ``n_bytes`` of a file from ``offset``."""
+
+    name: str
+    n_bytes: int
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class WriteFileSeq:
+    """Sequentially write ``n_bytes`` to a file from ``offset``."""
+
+    name: str
+    n_bytes: int
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class OpenFile:
+    """Open a file: a manager request on V++, a syscall on ULTRIX."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CloseFile:
+    """Close a file: a manager request on V++, a syscall on ULTRIX."""
+
+    name: str
+
+
+TraceEvent = Union[
+    Compute, TouchRegion, ReadFileSeq, WriteFileSeq, OpenFile, CloseFile
+]

@@ -1,0 +1,25 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_system
+from repro.hw.phys_mem import PhysicalMemory
+
+
+@pytest.fixture
+def memory() -> PhysicalMemory:
+    """A small 4 MB machine (1024 frames of 4 KB)."""
+    return PhysicalMemory(4 * 1024 * 1024)
+
+
+@pytest.fixture
+def system():
+    """A booted 8 MB V++ system with SPCM and default manager."""
+    return build_system(memory_mb=8, manager_frames=128)
+
+
+@pytest.fixture
+def kernel(system):
+    return system.kernel

@@ -1,0 +1,106 @@
+"""The consistency auditor: catches deliberately injected corruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.audit import (
+    audit_kernel,
+    audit_manager,
+    audit_spcm,
+    audit_system,
+)
+from repro.errors import MigrationError
+from repro.managers.base import GenericSegmentManager
+
+
+class TestCleanSystems:
+    def test_fresh_system_is_consistent(self, system):
+        report = audit_system(system)
+        assert report.ok, report.findings
+        assert report.checks_run >= 5
+
+    def test_exercised_system_is_consistent(self, system):
+        kernel = system.kernel
+        manager = GenericSegmentManager(
+            kernel, system.spcm, "work", initial_frames=64
+        )
+        seg = kernel.create_segment(32, manager=manager)
+        for page in range(32):
+            kernel.reference(seg, page * 4096, write=(page % 2 == 0))
+        manager.reclaim_pages(8)
+        manager.return_frames(4)
+        file_seg = kernel.create_segment(
+            0, name="f", manager=system.default_manager, auto_grow=True
+        )
+        system.file_server.create_file(file_seg)
+        system.uio.write(file_seg, 0, b"x" * (8 * 4096))
+        report = audit_system(system)
+        assert report.ok, report.findings
+
+
+class TestInjectedCorruption:
+    def test_detects_lost_frame(self, system):
+        kernel = system.kernel
+        boot = kernel.initial_segment
+        page = next(iter(boot.pages))
+        del boot.pages[page]  # corruption: the frame vanishes
+        report = audit_kernel(kernel)
+        assert not report.ok
+        assert any("owned by nobody" in f for f in report.findings)
+
+    def test_detects_double_ownership(self, system):
+        kernel = system.kernel
+        boot = kernel.initial_segment
+        seg = kernel.create_segment(4, name="dup")
+        page = next(iter(boot.pages))
+        seg.pages[0] = boot.pages[page]  # corruption: filed twice
+        report = audit_kernel(kernel)
+        assert any("AND segment" in f for f in report.findings)
+
+    def test_detects_bad_backref(self, system):
+        kernel = system.kernel
+        boot = kernel.initial_segment
+        frame = next(iter(boot.pages.values()))
+        frame.owner_segment_id = 9999  # corruption
+        report = audit_kernel(kernel)
+        assert any("records owner" in f for f in report.findings)
+
+    def test_detects_stale_translation(self, system):
+        kernel = system.kernel
+        manager = GenericSegmentManager(
+            kernel, system.spcm, "stale", initial_frames=16
+        )
+        seg = kernel.create_segment(4, manager=manager)
+        kernel.reference(seg, 0, write=True)
+        # corruption: move the frame without the kernel's shootdown
+        frame = seg.pages.pop(0)
+        spare = kernel.create_segment(4, name="spare")
+        spare.pages[0] = frame
+        frame.owner_segment_id = spare.seg_id
+        report = audit_kernel(kernel)
+        assert any("translation" in f for f in report.findings)
+
+    def test_detects_manager_slot_confusion(self, system):
+        manager = GenericSegmentManager(
+            system.kernel, system.spcm, "confused", initial_frames=8
+        )
+        slot = manager._free_slots[0]
+        manager._empty_slots.append(slot)  # corruption: both lists
+        report = audit_manager(manager)
+        assert any("both free and empty" in f for f in report.findings)
+
+    def test_detects_spcm_pool_drift(self, system):
+        system.spcm._free[4096].append(999_999)  # corruption
+        report = audit_spcm(system.spcm)
+        assert any("pool" in f for f in report.findings)
+
+    def test_raise_if_failed(self, system):
+        boot = system.kernel.initial_segment
+        del boot.pages[next(iter(boot.pages))]
+        report = audit_kernel(system.kernel)
+        with pytest.raises(MigrationError):
+            report.raise_if_failed()
+
+    def test_clean_report_does_not_raise(self, system):
+        audit_system(system).raise_if_failed()

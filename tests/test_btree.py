@@ -1,0 +1,140 @@
+"""The B+-tree index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dbms.btree import BPlusTree
+from repro.errors import DBMSError
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1) is None
+        assert 1 not in tree
+        tree.check_invariants()
+
+    def test_insert_search(self):
+        tree = BPlusTree(order=4)
+        for key in (5, 1, 9, 3):
+            tree.insert(key, f"v{key}")
+        assert tree.search(5) == "v5"
+        assert tree.search(2) is None
+        assert 9 in tree
+        assert len(tree) == 4
+
+    def test_overwrite_keeps_size(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.search(1) == "b"
+
+    def test_order_validation(self):
+        with pytest.raises(DBMSError):
+            BPlusTree(order=3)
+
+    def test_splits_preserve_everything(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert tree.height > 1
+        for key in range(100):
+            assert tree.search(key) == key * 2
+
+    def test_random_insert_order(self):
+        keys = list(range(500))
+        random.Random(1).shuffle(keys)
+        tree = BPlusTree(order=8)
+        for key in keys:
+            tree.insert(key, -key)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(500))
+
+
+class TestRangeScan:
+    def test_range_is_sorted_and_bounded(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 3):
+            tree.insert(key, key)
+        got = list(tree.range(10, 40))
+        assert got == [(k, k) for k in range(12, 40, 3)]
+
+    def test_empty_and_inverted_ranges(self):
+        tree = BPlusTree()
+        tree.insert(5, "x")
+        assert list(tree.range(10, 20)) == []
+        assert list(tree.range(20, 10)) == []
+
+    def test_range_spans_leaves(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        assert len(list(tree.range(0, 50))) == 50
+
+
+class TestDelete:
+    def test_delete_leaf_entries(self):
+        tree = BPlusTree(order=4)
+        for key in range(20):
+            tree.insert(key, key)
+        assert tree.delete(7)
+        assert not tree.delete(7)
+        assert tree.search(7) is None
+        assert len(tree) == 19
+        tree.check_invariants()
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(200))
+        random.Random(2).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            assert tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_delete_missing_from_empty(self):
+        assert not BPlusTree().delete(4)
+
+    def test_interleaved_insert_delete(self):
+        tree = BPlusTree(order=6)
+        model: dict[int, int] = {}
+        rng = random.Random(4)
+        for _ in range(2000):
+            key = rng.randint(0, 200)
+            if rng.random() < 0.6:
+                tree.insert(key, key)
+                model[key] = key
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == model
+
+
+class TestSizing:
+    def test_bulk_load(self):
+        tree = BPlusTree.bulk_load([(3, "c"), (1, "a"), (2, "b")], order=4)
+        assert [k for k, _ in tree.items()] == [1, 2, 3]
+
+    def test_estimated_pages_matches_the_papers_1mb_index(self):
+        """~64K entries of 16 bytes on 4 KB pages = 256 pages = 1 MB."""
+        tree = BPlusTree(order=128)
+        for key in range(65536):
+            tree.insert(key, key)
+        assert tree.estimated_pages() == 256
+
+    def test_node_count_grows(self):
+        tree = BPlusTree(order=4)
+        assert tree.node_count() == 1
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.node_count() > 10

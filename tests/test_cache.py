@@ -1,0 +1,71 @@
+"""The physically-indexed cache used by the coloring experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.cache import PhysicallyIndexedCache
+
+
+class TestPhysicallyIndexedCache:
+    def test_geometry(self):
+        cache = PhysicallyIndexedCache(64 * 1024, line_size=16, page_size=4096)
+        assert cache.n_lines == 4096
+        assert cache.n_colors == 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicallyIndexedCache(100, line_size=16)
+        with pytest.raises(ValueError):
+            PhysicallyIndexedCache(8192, line_size=16, page_size=4096 * 4)
+
+    def test_first_access_misses_second_hits(self):
+        cache = PhysicallyIndexedCache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(8)  # same 16-byte line
+        assert not cache.access(16)
+
+    def test_conflicting_addresses_evict(self):
+        cache = PhysicallyIndexedCache(64 * 1024)
+        cache.access(0)
+        assert not cache.access(64 * 1024)  # same index, different tag
+        assert cache.stats.conflict_evictions == 1
+        assert not cache.access(0)  # evicted
+
+    def test_same_color_pages_conflict_entirely(self):
+        cache = PhysicallyIndexedCache(64 * 1024, page_size=4096)
+        page_a = 0
+        page_b = 64 * 1024  # same color as page_a
+        assert cache.color_of(page_a) == cache.color_of(page_b)
+        cache.access_page(page_a)
+        misses = cache.access_page(page_b)
+        assert misses == 4096 // 16  # every line conflicts
+        assert cache.access_page(page_a) == 4096 // 16  # and back
+
+    def test_different_color_pages_coexist(self):
+        cache = PhysicallyIndexedCache(64 * 1024, page_size=4096)
+        page_a = 0
+        page_b = 4096  # next color
+        cache.access_page(page_a)
+        cache.access_page(page_b)
+        assert cache.access_page(page_a) == 0  # still resident
+        assert cache.access_page(page_b) == 0
+
+    def test_access_page_stride(self):
+        cache = PhysicallyIndexedCache()
+        misses = cache.access_page(0, stride=512)
+        assert misses == 4096 // 512
+
+    def test_flush(self):
+        cache = PhysicallyIndexedCache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.access(0)
+
+    def test_stats_rates(self):
+        cache = PhysicallyIndexedCache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+        assert cache.stats.hit_rate == 0.5

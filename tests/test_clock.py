@@ -1,0 +1,147 @@
+"""Clock replacement and protection-sampling working sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flags import PageFlags
+from repro.core.kernel import Kernel
+from repro.managers.base import GenericSegmentManager
+from repro.managers.clock import ClockReplacer, ProtectionClockSampler
+from repro.spcm.spcm import SystemPageCacheManager
+
+
+@pytest.fixture
+def world(memory):
+    kernel = Kernel(memory)
+    spcm = SystemPageCacheManager(kernel)
+    manager = GenericSegmentManager(kernel, spcm, "app", initial_frames=64)
+    return kernel, manager
+
+
+class TestClockReplacer:
+    def test_unreferenced_pages_selected_first(self, world):
+        kernel, manager = world
+        clock = ClockReplacer(manager)
+        seg = kernel.create_segment(8, manager=manager)
+        for page in range(4):
+            kernel.reference(seg, page * 4096)
+        # clear REFERENCED on pages 1 and 3 only
+        for page in (1, 3):
+            kernel.modify_page_flags(
+                seg, page, 1, clear_flags=PageFlags.REFERENCED
+            )
+        victims = clock.select_victims(2)
+        assert {p for _, p in victims} == {1, 3}
+
+    def test_second_chance_clears_then_selects(self, world):
+        kernel, manager = world
+        clock = ClockReplacer(manager)
+        seg = kernel.create_segment(4, manager=manager)
+        for page in range(3):
+            kernel.reference(seg, page * 4096)
+        # all referenced: first sweep clears, second selects
+        victims = clock.select_victims(3)
+        assert len(victims) == 3
+
+    def test_referenced_page_survives_when_alternatives_exist(self, world):
+        """Invariant 5: pages referenced in the last period are never
+        reclaimed while unreferenced pages remain."""
+        kernel, manager = world
+        clock = ClockReplacer(manager)
+        seg = kernel.create_segment(8, manager=manager)
+        for page in range(4):
+            kernel.reference(seg, page * 4096)
+        for page in range(4):
+            kernel.modify_page_flags(
+                seg, page, 1, clear_flags=PageFlags.REFERENCED
+            )
+        kernel.reference(seg, 2 * 4096)  # re-reference page 2
+        victims = clock.select_victims(3)
+        assert (seg.seg_id, 2) not in [(s.seg_id, p) for s, p in victims]
+
+    def test_clearing_shoots_down_translations(self, world):
+        kernel, manager = world
+        clock = ClockReplacer(manager)
+        seg = kernel.create_segment(4, manager=manager)
+        kernel.reference(seg, 0)
+        clock.select_victims(1)  # sweeps and clears REFERENCED
+        assert kernel.tlb.lookup(seg.seg_id, 0) is None
+
+    def test_empty_ring(self, world):
+        _, manager = world
+        assert ClockReplacer(manager).select_victims(4) == []
+
+    def test_pinned_segment_skipped(self, world):
+        kernel, manager = world
+        clock = ClockReplacer(manager)
+        seg = kernel.create_segment(4, manager=manager)
+        kernel.reference(seg, 0)
+        manager.pin_segment(seg)
+        assert clock.select_victims(1) == []
+
+
+class TestProtectionClockSampler:
+    def test_begin_interval_revokes_access(self, world):
+        kernel, manager = world
+        sampler = ProtectionClockSampler(manager, batch_pages=2)
+        seg = kernel.create_segment(8, manager=manager)
+        for page in range(4):
+            kernel.reference(seg, page * 4096)
+        sampler.begin_interval([seg])
+        for page in range(4):
+            flags = PageFlags(seg.pages[page].flags)
+            assert PageFlags.READ not in flags
+            assert PageFlags.WRITE not in flags
+
+    def test_fault_restores_a_batch(self, world):
+        kernel, manager = world
+        sampler = ProtectionClockSampler(manager, batch_pages=4)
+        manager.on_protection_fault = (  # type: ignore[method-assign]
+            lambda seg, fault: sampler.note_protection_fault(seg, fault.page)
+        )
+        seg = kernel.create_segment(8, manager=manager)
+        for page in range(8):
+            kernel.reference(seg, page * 4096)
+        sampler.begin_interval([seg])
+        faults_before = kernel.stats.faults
+        for page in range(4):  # whole batch costs ONE protection fault
+            kernel.reference(seg, page * 4096)
+        assert kernel.stats.faults == faults_before + 1
+        assert sampler.protection_faults == 1
+
+    def test_batching_over_approximates_references(self, world):
+        """Invariant 5b: the sampled working set never undercounts."""
+        kernel, manager = world
+        sampler = ProtectionClockSampler(manager, batch_pages=4)
+        manager.on_protection_fault = (  # type: ignore[method-assign]
+            lambda seg, fault: sampler.note_protection_fault(seg, fault.page)
+        )
+        seg = kernel.create_segment(8, manager=manager)
+        for page in range(8):
+            kernel.reference(seg, page * 4096)
+        sampler.begin_interval([seg])
+        kernel.reference(seg, 0)  # touch exactly one page
+        assert sampler.working_set(seg) >= 1
+
+    def test_smaller_batches_sample_more_precisely(self, world):
+        kernel, manager = world
+        results = {}
+        for batch in (1, 8):
+            seg = kernel.create_segment(8, manager=manager)
+            sampler = ProtectionClockSampler(manager, batch_pages=batch)
+            manager.on_protection_fault = (  # type: ignore[method-assign]
+                lambda s, f, smp=sampler: smp.note_protection_fault(s, f.page)
+            )
+            for page in range(8):
+                kernel.reference(seg, page * 4096)
+            sampler.begin_interval([seg])
+            kernel.reference(seg, 0)
+            results[batch] = sampler.working_set(seg)
+        assert results[1] == 1
+        assert results[8] == 8  # over-approximation from batching
+
+    def test_invalid_batch(self, world):
+        _, manager = world
+        with pytest.raises(ValueError):
+            ProtectionClockSampler(manager, batch_pages=0)

@@ -1,0 +1,93 @@
+"""The block device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DiskError
+from repro.hw.costs import DECSTATION_5000_200
+from repro.hw.disk import Disk
+
+
+def make_disk(**kwargs) -> Disk:
+    return Disk(DECSTATION_5000_200, **kwargs)
+
+
+class TestDisk:
+    def test_unwritten_blocks_read_zero(self):
+        disk = make_disk()
+        data, _ = disk.read_block(5)
+        assert data == bytes(4096)
+
+    def test_write_read_roundtrip(self):
+        disk = make_disk()
+        payload = bytes(range(256)) * 16
+        disk.write_block(3, payload)
+        data, _ = disk.read_block(3)
+        assert data == payload
+
+    def test_write_requires_exact_block(self):
+        disk = make_disk()
+        with pytest.raises(DiskError):
+            disk.write_block(0, b"short")
+
+    def test_block_bounds(self):
+        disk = make_disk(capacity_blocks=10)
+        with pytest.raises(DiskError):
+            disk.read_block(10)
+        with pytest.raises(DiskError):
+            disk.read_block(-1)
+
+    def test_service_time_model(self):
+        disk = make_disk()
+        _, us = disk.read_block(0)
+        assert us == DECSTATION_5000_200.disk_transfer_us(4096)
+
+    def test_range_read_is_one_seek(self):
+        disk = make_disk()
+        disk.write_block(0, b"a" * 4096)
+        disk.write_block(1, b"b" * 4096)
+        data, us = disk.read_range(0, 2)
+        assert data == b"a" * 4096 + b"b" * 4096
+        single = DECSTATION_5000_200.disk_transfer_us(4096)
+        double = DECSTATION_5000_200.disk_transfer_us(8192)
+        assert us == double
+        assert double < 2 * single  # amortized seek
+
+    def test_range_write(self):
+        disk = make_disk()
+        disk.write_range(4, b"x" * 8192)
+        a, _ = disk.read_block(4)
+        b, _ = disk.read_block(5)
+        assert a == b"x" * 4096 and b == b"x" * 4096
+
+    def test_range_write_requires_block_multiple(self):
+        disk = make_disk()
+        with pytest.raises(DiskError):
+            disk.write_range(0, b"x" * 100)
+        with pytest.raises(DiskError):
+            disk.write_range(0, b"")
+
+    def test_range_bounds_checked_before_mutation(self):
+        disk = make_disk(capacity_blocks=4)
+        with pytest.raises(DiskError):
+            disk.write_range(3, b"x" * 8192)
+        data, _ = disk.read_block(3)
+        assert data == bytes(4096)
+
+    def test_stats(self):
+        disk = make_disk()
+        disk.write_block(0, b"x" * 4096)
+        disk.read_block(0)
+        disk.read_range(0, 2)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 2
+        assert disk.stats.bytes_read == 4096 + 8192
+        assert disk.stats.bytes_written == 4096
+        assert disk.stats.busy_us > 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(DiskError):
+            make_disk(block_size=0)
+        with pytest.raises(DiskError):
+            make_disk(capacity_blocks=0)

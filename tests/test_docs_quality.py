@@ -1,0 +1,71 @@
+"""Documentation contract: every public item carries a docstring."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+EXEMPT_FUNCTION_PREFIXES = ("_",)
+
+
+def walk_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return [importlib.import_module(name) for name in sorted(names)]
+
+
+MODULES = walk_modules()
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at home
+        if inspect.isclass(obj):
+            if not obj.__doc__:
+                undocumented.append(f"class {name}")
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not callable(meth) or isinstance(meth, property):
+                    continue
+                func = inspect.unwrap(meth) if callable(meth) else meth
+                if not inspect.isfunction(func):
+                    continue
+                doc = func.__doc__
+                if not doc:
+                    # an override inherits its contract's docstring
+                    doc = next(
+                        (
+                            getattr(base, meth_name).__doc__
+                            for base in obj.__mro__[1:]
+                            if hasattr(base, meth_name)
+                            and getattr(base, meth_name).__doc__
+                        ),
+                        None,
+                    )
+                if not doc:
+                    undocumented.append(f"{name}.{meth_name}")
+        elif inspect.isfunction(obj):
+            if not obj.__doc__:
+                undocumented.append(f"def {name}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: "
+        f"{', '.join(undocumented)}"
+    )

@@ -1,0 +1,69 @@
+"""Every example script runs to completion (fast paths)."""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_main(name: str, argv: list[str] | None = None) -> str:
+    module = load(name)
+    out = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        with redirect_stdout(out):
+            module.main()
+    finally:
+        sys.argv = old_argv
+    return out.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        text = run_main("quickstart")
+        assert "107 us" in text
+        assert "379 us" in text
+        assert "frame conservation holds" in text
+
+    def test_scientific_prefetch(self):
+        text = run_main("scientific_prefetch")
+        assert "demand paging" in text
+        assert "prefetch + discard" in text
+
+    def test_page_coloring(self):
+        text = run_main("page_coloring")
+        assert "miss rate" in text
+        assert "coloring eliminates" in text
+
+    def test_memory_market(self):
+        text = run_main("memory_market")
+        assert "drams" in text
+        assert "conservation holds" in text
+
+    def test_adaptive_applications(self):
+        text = run_main("adaptive_applications")
+        assert "space-time tradeoff" in text
+        assert "adaptive garbage collection" in text
+
+    @pytest.mark.slow
+    def test_dbms_transaction_processing_quick(self):
+        # the example's default 40 s runs take a few seconds of wall time
+        text = run_main("dbms_transaction_processing")
+        assert "Table 4" in text
+        assert "regenerates the index" in text

@@ -1,0 +1,72 @@
+"""The experiment drivers: every table and figure regenerates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    figure1_address_space,
+    figure2_fault_trace,
+    table1_primitives,
+)
+from repro.analysis.tables import format_table, ratio
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.name: r for r in table1_primitives()}
+
+    def test_every_primitive_matches_paper_exactly(self, rows):
+        for name, row in rows.items():
+            assert row.measured == row.paper, name
+
+    def test_paper_values_present(self, rows):
+        values = {r.paper for r in rows.values()}
+        assert {107.0, 379.0, 175.0, 222.0, 203.0, 211.0, 311.0, 152.0} == values
+
+    def test_relative_error_zero(self, rows):
+        assert all(r.relative_error == 0.0 for r in rows.values())
+
+
+class TestFigureDrivers:
+    def test_figure1_names_all_regions_and_translations(self):
+        text = figure1_address_space()
+        for token in ("code", "data", "stack", "pfn", "vaddr"):
+            assert token in text
+
+    def test_figure2_trace_has_the_five_roles(self):
+        trace = figure2_fault_trace()
+        actors = {s.actor for s in trace.steps}
+        assert {"application", "kernel", "manager", "file server"} <= actors
+        rendered = trace.render()
+        assert "MigratePages" in rendered
+        assert trace.total_cost_us > 0
+
+    def test_figure2_step_order(self):
+        trace = figure2_fault_trace()
+        actor_sequence = [s.actor for s in trace.steps]
+        # fault first, file server before the migrate, resume last
+        assert actor_sequence[0] == "application"
+        assert actor_sequence[-1] == "manager"
+        assert actor_sequence.index("file server") < [
+            i
+            for i, s in enumerate(trace.steps)
+            if "MigratePages" in s.action
+        ].pop()
+
+
+class TestTableFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "T", ("name", "v"), [("a", 1), ("long-name", 22)], caption="c"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in text and "c" in text
+        # numeric column right-aligned (rows precede the rule and caption)
+        assert lines[-3].endswith("22")
+
+    def test_ratio(self):
+        assert ratio(50.0, 100.0) == "0.50x"
+        assert ratio(1.0, 0.0) == "-"

@@ -1,0 +1,51 @@
+"""Fault descriptions and trace rendering."""
+
+from __future__ import annotations
+
+from repro.core.faults import FaultKind, FaultTrace, PageFault, TraceStep
+
+
+class TestPageFault:
+    def test_describe(self):
+        fault = PageFault(3, 7, FaultKind.MISSING_PAGE, write=True)
+        text = fault.describe()
+        assert "write" in text and "page 7" in text and "segment 3" in text
+        fault = PageFault(3, 7, FaultKind.PROTECTION, write=False)
+        assert "read" in fault.describe()
+
+    def test_frozen(self):
+        fault = PageFault(1, 2, FaultKind.COPY_ON_WRITE, write=True)
+        try:
+            fault.page = 3  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestFaultTrace:
+    def test_steps_numbered_in_order(self):
+        trace = FaultTrace()
+        trace.add("application", "traps", 20.0)
+        trace.add("kernel", "forwards", 15.0)
+        trace.add("manager", "resolves")
+        assert [s.step for s in trace.steps] == [1, 2, 3]
+        assert trace.total_cost_us == 35.0
+
+    def test_render_shows_actors_and_costs(self):
+        trace = FaultTrace()
+        trace.add("kernel", "forwards fault", 15.0)
+        trace.add("manager", "migrates frame")
+        text = trace.render()
+        assert "[kernel]" in text
+        assert "(15 us)" in text
+        assert "[manager] migrates frame" in text
+
+    def test_trace_step_fields(self):
+        step = TraceStep(1, "kernel", "x", 5.0)
+        assert (step.step, step.actor, step.action, step.cost_us) == (
+            1,
+            "kernel",
+            "x",
+            5.0,
+        )

@@ -1,0 +1,34 @@
+"""Page flag definitions."""
+
+from __future__ import annotations
+
+from repro.core.flags import MANAGER_SETTABLE, PageFlags, describe_flags
+
+
+class TestPageFlags:
+    def test_rw_helpers(self):
+        assert PageFlags.rw() == PageFlags.READ | PageFlags.WRITE
+        assert PageFlags.ro() == PageFlags.READ
+
+    def test_describe(self):
+        assert describe_flags(PageFlags.NONE) == "NONE"
+        text = describe_flags(PageFlags.READ | PageFlags.DIRTY)
+        assert "READ" in text and "DIRTY" in text
+        assert "WRITE" not in text
+
+    def test_describe_accepts_raw_int(self):
+        assert describe_flags(int(PageFlags.READ)) == "READ"
+
+    def test_dirty_and_referenced_are_manager_settable(self):
+        # exposing these is one of the paper's extensions over mprotect
+        assert PageFlags.DIRTY in MANAGER_SETTABLE
+        assert PageFlags.REFERENCED in MANAGER_SETTABLE
+        assert PageFlags.PINNED in MANAGER_SETTABLE
+
+    def test_flags_are_disjoint_bits(self):
+        values = [f.value for f in PageFlags if f != PageFlags.NONE]
+        assert len(set(values)) == len(values)
+        for a in values:
+            for b in values:
+                if a != b:
+                    assert a & b == 0

@@ -1,0 +1,104 @@
+"""Copy-on-write address-space duplication (the fork shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.address_space import build_figure1_layout, fork_address_space
+from repro.core.kernel import Kernel
+from repro.managers.base import GenericSegmentManager
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import SystemPageCacheManager
+
+
+@pytest.fixture
+def world(memory):
+    kernel = Kernel(memory)
+    spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(0))
+    manager = GenericSegmentManager(kernel, spcm, "proc", initial_frames=256)
+    parent = build_figure1_layout(kernel, manager)
+    # populate the parent
+    for region in ("code", "data", "stack"):
+        r = parent.region(region)
+        for page in range(r.n_pages):
+            addr = parent.addr(region, page * 4096)
+            if region == "code":
+                parent.read(addr)
+            else:
+                parent.write(addr)
+                r.segment.pages[page].write(f"{region}{page}".encode())
+    return kernel, manager, parent
+
+
+class TestFork:
+    def test_child_reads_share_parent_frames(self, world):
+        kernel, manager, parent = world
+        resident_before = sum(
+            r.segment.resident_pages for r in parent.regions.values()
+        )
+        child = fork_address_space(kernel, manager, parent)
+        frame = kernel.reference(child.space, child.addr("data", 0))
+        assert frame is parent.region("data").segment.pages[0]
+        # no new frames were consumed by the read
+        resident_after = sum(
+            r.segment.resident_pages for r in parent.regions.values()
+        )
+        assert resident_after == resident_before
+
+    def test_read_only_code_is_shared_without_shadow(self, world):
+        kernel, manager, parent = world
+        child = fork_address_space(kernel, manager, parent)
+        assert child.region("code").segment is parent.region("code").segment
+
+    def test_child_writes_do_not_leak_to_parent(self, world):
+        kernel, manager, parent = world
+        child = fork_address_space(kernel, manager, parent)
+        frame = kernel.reference(
+            child.space, child.addr("data", 0), write=True
+        )
+        assert frame.read(0, 5) == b"data0"  # inherited contents
+        frame.write(b"CHILD")
+        parent_frame = kernel.reference(parent.space, parent.addr("data", 0))
+        assert parent_frame.read(0, 5) == b"data0"
+
+    def test_parent_writes_after_fork_visible_until_privatized(self, world):
+        kernel, manager, parent = world
+        child = fork_address_space(kernel, manager, parent)
+        parent.region("data").segment.pages[1].write(b"PARENT-UPDATE")
+        frame = kernel.reference(child.space, child.addr("data", 4096))
+        assert frame.read(0, 13) == b"PARENT-UPDATE"
+
+    def test_two_children_are_independent(self, world):
+        kernel, manager, parent = world
+        a = fork_address_space(kernel, manager, parent, name="a")
+        b = fork_address_space(kernel, manager, parent, name="b")
+        fa = kernel.reference(a.space, a.addr("stack", 0), write=True)
+        fa.write(b"AAAA")
+        fb = kernel.reference(b.space, b.addr("stack", 0), write=True)
+        assert fb.read(0, 4) == b"stac"[:4] or fb.read(0, 6) == b"stack0"
+        fb.write(b"BBBB")
+        assert fa.read(0, 4) == b"AAAA"
+        assert (
+            parent.region("stack").segment.pages[0].read(0, 6) == b"stack0"
+        )
+
+    def test_layout_preserved(self, world):
+        kernel, manager, parent = world
+        child = fork_address_space(kernel, manager, parent)
+        for name, region in parent.regions.items():
+            assert child.region(name).start_page == region.start_page
+            assert child.region(name).n_pages == region.n_pages
+        assert child.space.n_pages == parent.space.n_pages
+
+    def test_conservation_after_fork_storm(self, world):
+        kernel, manager, parent = world
+        children = [
+            fork_address_space(kernel, manager, parent, name=f"c{i}")
+            for i in range(4)
+        ]
+        for child in children:
+            for page in range(4):
+                kernel.reference(
+                    child.space, child.addr("data", page * 4096), write=True
+                )
+        kernel.check_frame_conservation()

@@ -1,0 +1,150 @@
+"""Cross-module integration scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_system
+from repro.core.kernel import Kernel
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+from repro.managers.dbms_manager import DBMSSegmentManager
+from repro.managers.discard_manager import DiscardableSegmentManager
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import SystemPageCacheManager
+
+
+class TestMultiManagerContention:
+    """Several managers share a small machine through the SPCM."""
+
+    def build(self, frames=256):
+        memory = PhysicalMemory(frames * 4096)
+        kernel = Kernel(memory)
+        spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(8))
+        return kernel, spcm
+
+    def test_pressure_cycles_conserve_frames(self):
+        kernel, spcm = self.build()
+        managers = [
+            GenericSegmentManager(kernel, spcm, f"m{i}", initial_frames=16)
+            for i in range(4)
+        ]
+        segments = [
+            kernel.create_segment(64, name=f"s{i}", manager=m)
+            for i, m in enumerate(managers)
+        ]
+        # repeatedly: one manager grows greedy, the SPCM squeezes others
+        for round_no in range(6):
+            greedy = managers[round_no % 4]
+            seg = segments[round_no % 4]
+            for page in range(40):
+                kernel.reference(seg, page * 4096, write=(page % 2 == 0))
+            for victim in managers:
+                if victim is not greedy:
+                    spcm.force_reclaim(victim, 8)
+            kernel.check_frame_conservation()
+        total_held = sum(m.total_frames for m in managers)
+        assert total_held + spcm.available_frames() <= 256
+
+    def test_forced_reclaim_preserves_file_data(self):
+        system = build_system(memory_mb=8, manager_frames=64)
+        kernel = system.kernel
+        seg = kernel.create_segment(
+            0, name="f", manager=system.default_manager, auto_grow=True
+        )
+        system.file_server.create_file(seg)
+        payload = bytes(range(256)) * 16 * 4  # 4 pages
+        system.uio.write(seg, 0, payload)
+        freed = system.spcm.force_reclaim(
+            system.default_manager, system.default_manager.total_frames
+        )
+        assert freed > 0
+        system.default_manager.invalidate_reclaim_cache()
+        assert system.uio.read(seg, 0, len(payload)) == payload
+
+    def test_mixed_manager_types_coexist(self):
+        kernel, spcm = self.build()
+        generic = GenericSegmentManager(kernel, spcm, "gen", initial_frames=32)
+        dbms = DBMSSegmentManager(kernel, spcm, initial_frames=32)
+        discard = DiscardableSegmentManager(kernel, spcm, initial_frames=32)
+        g_seg = kernel.create_segment(16, name="g", manager=generic)
+        d_seg = dbms.create_typed_segment(16, "relations")
+        x_seg = kernel.create_segment(16, name="x", manager=discard)
+        for page in range(16):
+            kernel.reference(g_seg, page * 4096)
+            kernel.reference(d_seg, page * 4096, write=True)
+            kernel.reference(x_seg, page * 4096, write=True)
+        discard.mark_discardable(x_seg, 0, 8)
+        dbms.discard_segment(d_seg)
+        discard.reclaim_pages(8)
+        generic.release_frames(8)
+        kernel.check_frame_conservation()
+        assert dbms.pool_frames["relations"] == 0
+        assert discard.writebacks_avoided > 0
+
+
+class TestEndToEndQueryScenario:
+    """A DBMS-style end-to-end path: relations on disk, index in memory,
+    a residency-aware 'query planner' decision."""
+
+    def test_plan_uses_residency_knowledge(self):
+        system = build_system(memory_mb=16, manager_frames=256)
+        kernel = system.kernel
+        dbms = DBMSSegmentManager(
+            kernel,
+            system.spcm,
+            initial_frames=128,
+            file_server=system.file_server,
+        )
+        relation = dbms.create_typed_segment(64, "relations")
+        index = dbms.create_typed_segment(16, "indices")
+        system.file_server.create_file(relation, data=b"r" * (64 * 4096))
+        # build the index in memory and pin the root pages
+        dbms.ensure_resident(index, list(range(16)))
+        dbms.pin_pages(index, [0, 1])
+        # planner: index path costs lookups on resident pages, scan path
+        # would fault the whole relation
+        resident_fraction = dbms.resident_fraction(relation)
+        assert resident_fraction == 0.0
+        index_resident = dbms.resident_fraction(index)
+        assert index_resident == 1.0
+        # executing the index path touches only the index: no disk charges
+        snap = kernel.meter.snapshot()
+        for page in range(16):
+            kernel.reference(index, page * 4096)
+        delta = kernel.meter.delta_since(snap)
+        assert "file_server" not in delta
+        # executing the scan path pages the relation in from the server
+        snap = kernel.meter.snapshot()
+        for page in range(8):
+            kernel.reference(relation, page * 4096)
+        delta = kernel.meter.delta_since(snap)
+        assert delta.get("file_server", 0) > 0
+        kernel.check_frame_conservation()
+
+    def test_discard_and_regenerate_cycle_is_clean(self):
+        system = build_system(memory_mb=16, manager_frames=256)
+        kernel = system.kernel
+        dbms = DBMSSegmentManager(kernel, system.spcm, initial_frames=64)
+        index = dbms.create_typed_segment(32, "indices")
+        for cycle in range(5):
+            dbms.ensure_resident(index, list(range(32)))
+            assert dbms.resident_fraction(index) == 1.0
+            dropped = dbms.discard_segment(index)
+            assert dropped == 32
+            kernel.check_frame_conservation()
+        assert dbms.discarded_segments == 5
+
+
+class TestWorkloadCrossChecks:
+    def test_vpp_and_ultrix_see_identical_file_bytes(self):
+        """The two runners build the same file contents (so elapsed-time
+        differences are never data artifacts)."""
+        from repro.workloads.runner import _file_bytes
+
+        a = _file_bytes("old.txt", 1000)
+        b = _file_bytes("old.txt", 1000)
+        c = _file_bytes("new.txt", 1000)
+        assert a == b
+        assert a != c
+        assert len(a) == 1000

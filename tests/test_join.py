@@ -1,0 +1,120 @@
+"""Join algorithms and the cost model behind the Table-4 demands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.join import (
+    JoinCostModel,
+    JoinRecord,
+    build_join_index,
+    hash_join,
+    index_join,
+    nested_loop_join,
+)
+from repro.dbms.simulator import TPConfig
+from repro.dbms.transactions import IndexPolicy
+
+
+def records(keys, tag=""):
+    return [JoinRecord(k, f"{tag}{k}") for k in keys]
+
+
+class TestJoinAlgorithms:
+    def test_all_three_strategies_agree(self):
+        outer = records(range(0, 30, 2), "o")
+        inner = records(range(0, 30, 3), "i")
+        expected = {(o.key) for o in outer} & {i.key for i in inner}
+        nl = nested_loop_join(outer, inner)
+        hj = hash_join(outer, inner)
+        ij = index_join(outer, build_join_index(inner))
+        assert {o.key for o, _ in nl} == expected
+        assert sorted((o.key, i.key) for o, i in hj) == sorted(
+            (o.key, i.key) for o, i in nl
+        )
+        assert sorted((o.key, i.key) for o, i in ij) == sorted(
+            (o.key, i.key) for o, i in nl
+        )
+
+    def test_empty_inputs(self):
+        assert hash_join([], records([1, 2])) == []
+        assert hash_join(records([1, 2]), []) == []
+        assert index_join([], build_join_index(records([1]))) == []
+
+    def test_payloads_travel(self):
+        outer = records([7], "o")
+        inner = records([7], "i")
+        ((o, i),) = index_join(outer, build_join_index(inner))
+        assert o.payload == "o7"
+        assert i.payload == "i7"
+
+    def test_index_is_a_real_btree(self):
+        index = build_join_index(records(range(1000)))
+        index.check_invariants()
+        assert index.height >= 2
+
+
+class TestJoinCostModel:
+    def test_scan_cost_is_linear_in_both_inputs(self):
+        model = JoinCostModel()
+        base = model.scan_join_us(1000, 1000)
+        assert model.scan_join_us(2000, 1000) > base
+        assert model.scan_join_us(1000, 2000) > base
+        # linear, not quadratic
+        assert model.scan_join_us(2000, 2000) == pytest.approx(2 * base)
+
+    def test_index_join_scales_with_height(self):
+        model = JoinCostModel()
+        assert model.index_join_us(1000, 4) == pytest.approx(
+            (4 / 3) * model.index_join_us(1000, 3)
+        )
+
+    def test_mips_scaling(self):
+        model = JoinCostModel()
+        us = model.index_build_us(30_000)
+        # 30 MIPS machine: 175 instr/record -> 175/30 us per record
+        assert us == pytest.approx(30_000 * 175 / 30.0)
+
+
+class TestModelGroundsSimulator:
+    """The fitted TPConfig demands correspond to one concrete workload."""
+
+    N_OUTER = 18_000
+    N_INNER = 65_536  # the 1 MB index at 16 bytes per entry
+    HEIGHT = 3
+
+    def test_fitted_demands_are_consistent(self):
+        config = TPConfig(policy=IndexPolicy.IN_MEMORY)
+        model = JoinCostModel()
+        assert model.consistent_with_simulator(
+            config.join_scan_compute_us,
+            config.join_index_compute_us,
+            config.index_regen_compute_us,
+            self.N_OUTER,
+            self.N_INNER,
+            self.HEIGHT,
+        )
+
+    def test_each_demand_individually_close(self):
+        config = TPConfig(policy=IndexPolicy.IN_MEMORY)
+        model = JoinCostModel()
+        assert model.scan_join_us(self.N_OUTER, self.N_INNER) == pytest.approx(
+            config.join_scan_compute_us, rel=0.35
+        )
+        assert model.index_join_us(self.N_OUTER, self.HEIGHT) == pytest.approx(
+            config.join_index_compute_us, rel=0.35
+        )
+        assert model.index_build_us(self.N_INNER) == pytest.approx(
+            config.index_regen_compute_us, rel=0.35
+        )
+
+    def test_index_entries_fill_one_megabyte(self):
+        """64 K entries at 16 bytes = the paper's 1 MB index; the real
+        B+-tree agrees about the page count."""
+        from repro.dbms.btree import BPlusTree
+
+        tree = BPlusTree(order=128)
+        for key in range(self.N_INNER):
+            tree.insert(key, key)
+        config = TPConfig(policy=IndexPolicy.IN_MEMORY)
+        assert tree.estimated_pages() == config.index_pages

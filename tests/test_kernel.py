@@ -1,0 +1,286 @@
+"""The kernel: segment lifecycle, the four operations, conservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flags import PageFlags
+from repro.core.kernel import Kernel
+from repro.core.manager_api import SegmentManager
+from repro.errors import (
+    MigrationError,
+    ProtectionError,
+    SegmentError,
+)
+from repro.hw.phys_mem import PhysicalMemory
+
+
+@pytest.fixture
+def bare_kernel(memory) -> Kernel:
+    return Kernel(memory)
+
+
+class NullManager(SegmentManager):
+    """A manager that records faults but resolves nothing."""
+
+    def __init__(self, kernel):
+        super().__init__(kernel, "null")
+        self.faults = []
+
+    def handle_fault(self, fault):
+        self.faults.append(fault)
+
+
+class TestBoot:
+    def test_all_frames_in_boot_segment(self, bare_kernel, memory):
+        boot = bare_kernel.initial_segment
+        assert boot is not None
+        assert boot.resident_pages == memory.n_frames
+        # in order of physical address (S2.1)
+        for page, frame in sorted(boot.pages.items()):
+            assert frame.phys_addr == page * 4096
+
+    def test_boot_segments_per_page_size(self):
+        memory = PhysicalMemory(8 * 4096, large_pools={16384: 2})
+        kernel = Kernel(memory)
+        assert set(kernel.boot_segments) == {4096, 16384}
+        assert kernel.boot_segments[16384].resident_pages == 2
+
+    def test_conservation_at_boot(self, bare_kernel):
+        bare_kernel.check_frame_conservation()
+
+
+class TestSegmentLifecycle:
+    def test_create_and_lookup(self, bare_kernel):
+        seg = bare_kernel.create_segment(8, name="s")
+        assert bare_kernel.segment(seg.seg_id) is seg
+        assert seg in bare_kernel.segments()
+
+    def test_unknown_segment(self, bare_kernel):
+        with pytest.raises(SegmentError):
+            bare_kernel.segment(999)
+
+    def test_cow_source_page_size_must_match(self, bare_kernel):
+        src = bare_kernel.create_segment(4)
+        with pytest.raises(SegmentError):
+            bare_kernel.create_segment(4, page_size=16384, cow_source=src)
+
+    def test_delete_sweeps_frames_back(self, bare_kernel):
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(4, name="dying")
+        bare_kernel.migrate_pages(boot, seg, 0, 0, 2)
+        before = boot.resident_pages
+        bare_kernel.delete_segment(seg)
+        assert boot.resident_pages == before + 2
+        bare_kernel.check_frame_conservation()
+        with pytest.raises(SegmentError):
+            bare_kernel.segment(seg.seg_id)
+
+    def test_delete_notifies_manager(self, bare_kernel):
+        manager = NullManager(bare_kernel)
+        seg = bare_kernel.create_segment(4, manager=manager)
+        calls_before = bare_kernel.stats.manager_calls.get("null", 0)
+        deleted = []
+        manager.segment_deleted = lambda s: deleted.append(s)  # type: ignore[method-assign]
+        bare_kernel.delete_segment(seg)
+        assert deleted == [seg]
+        assert bare_kernel.stats.manager_calls["null"] == calls_before + 1
+
+    def test_double_delete_rejected(self, bare_kernel):
+        seg = bare_kernel.create_segment(4)
+        bare_kernel.delete_segment(seg)
+        with pytest.raises(SegmentError):
+            bare_kernel.delete_segment(seg)
+
+    def test_delete_of_bound_target_refused(self, bare_kernel):
+        """A segment still bound into an address space cannot vanish."""
+        data = bare_kernel.create_segment(4, name="data")
+        vas = bare_kernel.create_segment(8, name="vas")
+        binding = vas.bind(0, 4, data, 0)
+        with pytest.raises(SegmentError):
+            bare_kernel.delete_segment(data)
+        vas.unbind(binding)
+        bare_kernel.delete_segment(data)  # fine once unbound
+
+    def test_delete_of_cow_source_refused(self, bare_kernel):
+        source = bare_kernel.create_segment(4, name="src")
+        shadow = bare_kernel.create_segment(
+            4, name="shadow", cow_source=source
+        )
+        with pytest.raises(SegmentError):
+            bare_kernel.delete_segment(source)
+        bare_kernel.delete_segment(shadow)
+        bare_kernel.delete_segment(source)  # fine once the shadow is gone
+
+
+class TestSetSegmentManager:
+    def test_manager_assignment_and_tracking(self, bare_kernel):
+        m1, m2 = NullManager(bare_kernel), NullManager(bare_kernel)
+        m2.name = "null2"
+        seg = bare_kernel.create_segment(4)
+        bare_kernel.set_segment_manager(seg, m1)
+        assert seg.manager is m1
+        assert seg.seg_id in m1.managed
+        bare_kernel.set_segment_manager(seg, m2)
+        assert seg.seg_id not in m1.managed
+        assert seg.seg_id in m2.managed
+
+    def test_charges_meter(self, bare_kernel):
+        seg = bare_kernel.create_segment(4)
+        before = bare_kernel.meter.total_us
+        bare_kernel.set_segment_manager(seg, NullManager(bare_kernel))
+        assert bare_kernel.meter.total_us > before
+
+
+class TestMigratePages:
+    def test_moves_frames_and_updates_ownership(self, bare_kernel):
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(8)
+        moved = bare_kernel.migrate_pages(boot, seg, 10, 2, 3)
+        assert len(moved) == 3
+        for i, frame in enumerate(moved):
+            assert frame.owner_segment_id == seg.seg_id
+            assert frame.page_index == 2 + i
+            assert seg.pages[2 + i] is frame
+            assert 10 + i not in boot.pages
+        bare_kernel.check_frame_conservation()
+
+    def test_flags_set_and_cleared(self, bare_kernel):
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(4)
+        boot.pages[0].flags = int(PageFlags.rw() | PageFlags.DIRTY)
+        moved = bare_kernel.migrate_pages(
+            boot,
+            seg,
+            0,
+            0,
+            1,
+            set_flags=PageFlags.REFERENCED,
+            clear_flags=PageFlags.DIRTY,
+        )
+        flags = PageFlags(moved[0].flags)
+        assert PageFlags.REFERENCED in flags
+        assert PageFlags.DIRTY not in flags
+
+    def test_source_page_must_be_backed(self, bare_kernel):
+        a = bare_kernel.create_segment(4)
+        b = bare_kernel.create_segment(4)
+        with pytest.raises(MigrationError):
+            bare_kernel.migrate_pages(a, b, 0, 0, 1)
+
+    def test_destination_must_be_empty(self, bare_kernel):
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(4)
+        bare_kernel.migrate_pages(boot, seg, 0, 0, 1)
+        with pytest.raises(MigrationError):
+            bare_kernel.migrate_pages(boot, seg, 1, 0, 1)
+
+    def test_validation_happens_before_mutation(self, bare_kernel):
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(4)
+        bare_kernel.migrate_pages(boot, seg, 0, 2, 1)  # occupy page 2
+        with pytest.raises(MigrationError):
+            bare_kernel.migrate_pages(boot, seg, 1, 1, 2)  # 2 collides
+        assert 1 not in seg.pages  # nothing moved
+        bare_kernel.check_frame_conservation()
+
+    def test_page_size_mismatch(self):
+        memory = PhysicalMemory(8 * 4096, large_pools={16384: 2})
+        kernel = Kernel(memory)
+        small = kernel.create_segment(4)
+        big = kernel.create_segment(4, page_size=16384)
+        with pytest.raises(MigrationError):
+            kernel.migrate_pages(kernel.boot_segments[4096], big, 0, 0, 1)
+        with pytest.raises(MigrationError):
+            kernel.migrate_pages(kernel.boot_segments[16384], small, 0, 0, 1)
+
+    def test_migration_into_read_only_segment_is_a_write(self, bare_kernel):
+        """Migrating a frame to a segment is a write for protection (S2.1)."""
+        ro = bare_kernel.create_segment(4, prot=PageFlags.READ)
+        with pytest.raises(ProtectionError):
+            bare_kernel.migrate_pages(bare_kernel.initial_segment, ro, 0, 0, 1)
+
+    def test_auto_grow_destination(self, bare_kernel):
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(0, auto_grow=True)
+        bare_kernel.migrate_pages(boot, seg, 0, 5, 2)
+        assert seg.n_pages == 7
+
+    def test_zero_fill_flag_zeroes_in_transit(self, bare_kernel):
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(4)
+        frame = boot.pages[0]
+        frame.write(b"secret")
+        frame.flags |= int(PageFlags.ZERO_FILL)
+        zero_charges = bare_kernel.meter.by_category.get("zero_fill", 0.0)
+        bare_kernel.migrate_pages(boot, seg, 0, 0, 1)
+        assert frame.read(0, 6) == bytes(6)
+        assert not PageFlags.ZERO_FILL & PageFlags(frame.flags)
+        assert bare_kernel.meter.by_category["zero_fill"] > zero_charges
+        assert bare_kernel.stats.zero_fills == 1
+
+    def test_no_zeroing_without_flag(self, bare_kernel):
+        """V++ does not zero on same-user reallocation --- the 75us the
+        paper saves over ULTRIX."""
+        boot = bare_kernel.initial_segment
+        seg = bare_kernel.create_segment(4)
+        boot.pages[0].write(b"keep")
+        bare_kernel.migrate_pages(boot, seg, 0, 0, 1)
+        assert seg.pages[0].read(0, 4) == b"keep"
+        assert bare_kernel.stats.zero_fills == 0
+
+    def test_unsupported_flags_rejected(self, bare_kernel):
+        seg = bare_kernel.create_segment(4)
+        with pytest.raises(MigrationError):
+            bare_kernel.migrate_pages(
+                bare_kernel.initial_segment,
+                seg,
+                0,
+                0,
+                1,
+                set_flags=PageFlags(1 << 12),
+            )
+
+    def test_stats_and_attribution(self, bare_kernel):
+        seg = bare_kernel.create_segment(8)
+        with bare_kernel.attribute("someone"):
+            bare_kernel.migrate_pages(bare_kernel.initial_segment, seg, 0, 0, 4)
+        assert bare_kernel.stats.migrate_calls == 1
+        assert bare_kernel.stats.pages_migrated == 4
+        assert bare_kernel.stats.migrate_calls_by_manager["someone"] == 1
+
+
+class TestModifyPageFlags:
+    def test_modifies_present_pages_only(self, bare_kernel):
+        seg = bare_kernel.create_segment(8)
+        bare_kernel.migrate_pages(bare_kernel.initial_segment, seg, 0, 0, 2)
+        modified = bare_kernel.modify_page_flags(
+            seg, 0, 8, set_flags=PageFlags.PINNED
+        )
+        assert modified == 2
+        assert PageFlags.PINNED & PageFlags(seg.pages[0].flags)
+
+    def test_rejects_unsupported_flags(self, bare_kernel):
+        seg = bare_kernel.create_segment(4)
+        with pytest.raises(SegmentError):
+            bare_kernel.modify_page_flags(seg, 0, 1, set_flags=PageFlags(1 << 12))
+
+    def test_range_checked(self, bare_kernel):
+        seg = bare_kernel.create_segment(4)
+        with pytest.raises(SegmentError):
+            bare_kernel.modify_page_flags(seg, 2, 4)
+
+
+class TestGetPageAttributes:
+    def test_reports_presence_flags_and_physical_address(self, bare_kernel):
+        """Physical addresses are exported deliberately --- they enable
+        page coloring and placement control (S1)."""
+        seg = bare_kernel.create_segment(4)
+        bare_kernel.migrate_pages(bare_kernel.initial_segment, seg, 3, 1, 1)
+        attrs = bare_kernel.get_page_attributes(seg, 0, 3)
+        assert [a.page for a in attrs] == [0, 1, 2]
+        assert not attrs[0].present and attrs[0].pfn is None
+        assert attrs[1].present
+        assert attrs[1].pfn == seg.pages[1].pfn
+        assert attrs[1].phys_addr == seg.pages[1].phys_addr
+        assert bare_kernel.stats.get_attributes_calls == 1

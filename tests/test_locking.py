@@ -1,0 +1,287 @@
+"""The hierarchical lock manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.locking import (
+    LockManager,
+    LockMode,
+    Transaction,
+    combine,
+    compatible,
+)
+from repro.errors import LockProtocolError
+from repro.sim.engine import Engine
+from repro.sim.process import Delay
+
+
+@pytest.fixture
+def world():
+    engine = Engine()
+    return engine, LockManager(engine)
+
+
+def run_txn(engine, generator):
+    return engine.spawn(generator)
+
+
+class TestCompatibilityMatrix:
+    def test_gray_matrix(self):
+        IS, IX, S, SIX, X = (
+            LockMode.IS,
+            LockMode.IX,
+            LockMode.S,
+            LockMode.SIX,
+            LockMode.X,
+        )
+        assert compatible(IS, IS) and compatible(IS, IX)
+        assert compatible(IS, S) and compatible(IS, SIX)
+        assert not compatible(IS, X)
+        assert compatible(IX, IX) and not compatible(IX, S)
+        assert compatible(S, S) and not compatible(S, IX)
+        assert compatible(SIX, IS) and not compatible(SIX, S)
+        for mode in (IS, IX, S, SIX):
+            assert not compatible(X, mode)
+            assert not compatible(mode, X)
+
+    def test_combine_is_least_upper_bound(self):
+        assert combine(LockMode.IS, LockMode.IX) is LockMode.IX
+        assert combine(LockMode.IX, LockMode.S) is LockMode.SIX
+        assert combine(LockMode.S, LockMode.S) is LockMode.S
+        assert combine(LockMode.SIX, LockMode.X) is LockMode.X
+        assert combine(LockMode.IS, LockMode.IS) is LockMode.IS
+
+
+class TestAcquireRelease:
+    def test_compatible_grants_coexist(self, world):
+        engine, locks = world
+        order = []
+
+        def reader(i):
+            txn = Transaction(i)
+            yield from locks.acquire(txn, "r", LockMode.S)
+            order.append(("granted", i, engine.now))
+            yield Delay(10)
+            locks.release_all(txn)
+
+        run_txn(engine, reader(1))
+        run_txn(engine, reader(2))
+        engine.run()
+        assert [(g, i) for g, i, _ in order] == [
+            ("granted", 1),
+            ("granted", 2),
+        ]
+        assert all(t == 0 for *_, t in order)  # no waiting
+
+    def test_exclusive_waits_for_release(self, world):
+        engine, locks = world
+        events = []
+
+        def holder():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "r", LockMode.S)
+            yield Delay(50)
+            locks.release_all(txn)
+
+        def writer():
+            txn = Transaction(2)
+            yield Delay(1)
+            yield from locks.acquire(txn, "r", LockMode.X)
+            events.append(engine.now)
+            locks.release_all(txn)
+
+        run_txn(engine, holder())
+        run_txn(engine, writer())
+        engine.run()
+        assert events == [50]
+        assert locks.waits == 1
+
+    def test_fifo_no_overtaking(self, world):
+        """A later S request must not overtake a queued X (no starvation)."""
+        engine, locks = world
+        order = []
+
+        def proc(i, mode, delay):
+            txn = Transaction(i)
+            yield Delay(delay)
+            yield from locks.acquire(txn, "r", mode)
+            order.append(i)
+            yield Delay(100)
+            locks.release_all(txn)
+
+        run_txn(engine, proc(1, LockMode.S, 0))
+        run_txn(engine, proc(2, LockMode.X, 1))
+        run_txn(engine, proc(3, LockMode.S, 2))
+        engine.run()
+        assert order == [1, 2, 3]
+
+    def test_reacquire_same_mode_is_noop(self, world):
+        engine, locks = world
+
+        def proc():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "r", LockMode.S)
+            yield from locks.acquire(txn, "r", LockMode.S)
+            locks.release_all(txn)
+
+        p = run_txn(engine, proc())
+        engine.run()
+        assert p.finished
+        assert locks.grants == 1
+
+    def test_upgrade_s_to_x(self, world):
+        engine, locks = world
+        done = []
+
+        def proc():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "r", LockMode.S)
+            yield from locks.acquire(txn, "r", LockMode.X)
+            done.append(txn.held["r"])
+            locks.release_all(txn)
+
+        run_txn(engine, proc())
+        engine.run()
+        assert done == [LockMode.X]
+
+    def test_upgrade_waits_for_other_readers(self, world):
+        engine, locks = world
+        events = []
+
+        def other_reader():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "r", LockMode.S)
+            yield Delay(30)
+            locks.release_all(txn)
+
+        def upgrader():
+            txn = Transaction(2)
+            yield from locks.acquire(txn, "r", LockMode.S)
+            yield Delay(1)
+            yield from locks.acquire(txn, "r", LockMode.X)
+            events.append(engine.now)
+            locks.release_all(txn)
+
+        run_txn(engine, other_reader())
+        run_txn(engine, upgrader())
+        engine.run()
+        assert events == [30]
+
+    def test_release_unheld_rejected(self, world):
+        _, locks = world
+        txn = Transaction(1)
+        txn.held["r"] = LockMode.S  # forged
+        with pytest.raises(LockProtocolError):
+            locks.release_all(txn)
+
+    def test_wait_time_accounted(self, world):
+        engine, locks = world
+
+        def holder():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "r", LockMode.X)
+            yield Delay(40)
+            locks.release_all(txn)
+
+        blocked = Transaction(2)
+
+        def waiter():
+            yield Delay(5)
+            yield from locks.acquire(blocked, "r", LockMode.X)
+            locks.release_all(blocked)
+
+        run_txn(engine, holder())
+        run_txn(engine, waiter())
+        engine.run()
+        assert blocked.lock_waits == 1
+        assert blocked.lock_wait_us == 35.0
+
+
+class TestHierarchyProtocol:
+    def test_child_lock_requires_parent_intention(self, world):
+        engine, locks = world
+        locks.declare_child("db", ("rel", "t"))
+
+        def bad():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, ("rel", "t"), LockMode.X)
+
+        with pytest.raises(LockProtocolError):
+            run_txn(engine, bad())
+            engine.run()
+
+    def test_correct_protocol_accepted(self, world):
+        engine, locks = world
+        locks.declare_child("db", ("rel", "t"))
+        locks.declare_child(("rel", "t"), ("page", "t", 0))
+
+        def good():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "db", LockMode.IX)
+            yield from locks.acquire(txn, ("rel", "t"), LockMode.IX)
+            yield from locks.acquire(txn, ("page", "t", 0), LockMode.X)
+            locks.release_all(txn)
+
+        p = run_txn(engine, good())
+        engine.run()
+        assert p.finished
+
+    def test_read_locks_need_only_is(self, world):
+        engine, locks = world
+        locks.declare_child("db", ("rel", "t"))
+
+        def reader():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "db", LockMode.IS)
+            yield from locks.acquire(txn, ("rel", "t"), LockMode.S)
+            locks.release_all(txn)
+
+        p = run_txn(engine, reader())
+        engine.run()
+        assert p.finished
+
+    def test_is_parent_insufficient_for_child_write(self, world):
+        engine, locks = world
+        locks.declare_child("db", ("rel", "t"))
+
+        def sneaky():
+            txn = Transaction(1)
+            yield from locks.acquire(txn, "db", LockMode.IS)
+            yield from locks.acquire(txn, ("rel", "t"), LockMode.X)
+
+        with pytest.raises(LockProtocolError):
+            run_txn(engine, sneaky())
+            engine.run()
+
+    def test_self_parent_rejected(self, world):
+        _, locks = world
+        with pytest.raises(LockProtocolError):
+            locks.declare_child("a", "a")
+
+
+class TestTheCouplingTable4DependsOn:
+    def test_relation_s_blocks_every_ix_writer(self, world):
+        """A join's escalated S lock on accounts blocks all DebitCredits:
+        the effect that turns long joins into long DC responses."""
+        engine, locks = world
+        dc_grant_times = []
+
+        def join():
+            txn = Transaction(100)
+            yield from locks.acquire(txn, ("rel", "accounts"), LockMode.S)
+            yield Delay(1000)  # the faulting/scanning join
+            locks.release_all(txn)
+
+        def dc(i):
+            txn = Transaction(i)
+            yield Delay(i)  # arrive during the join
+            yield from locks.acquire(txn, ("rel", "accounts"), LockMode.IX)
+            dc_grant_times.append(engine.now)
+            locks.release_all(txn)
+
+        run_txn(engine, join())
+        for i in range(1, 4):
+            run_txn(engine, dc(i))
+        engine.run()
+        assert dc_grant_times == [1000.0, 1000.0, 1000.0]

@@ -1,0 +1,139 @@
+"""The S1 motivations: MP3D space-time adaptation and the adaptive GC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.adaptive_gc import (
+    AdaptiveGCApplication,
+    run_gc_workload,
+)
+from repro.workloads.mp3d import MP3DConfig, MP3DModel
+
+
+class TestMP3DAdaptation:
+    def test_particles_scale_with_memory(self):
+        model = MP3DModel()
+        assert model.particles_for_memory(200.0) > model.particles_for_memory(
+            100.0
+        )
+        assert (
+            model.particles_for_memory(200.0)
+            == 2 * model.particles_for_memory(100.0)
+        )
+        with pytest.raises(WorkloadError):
+            model.particles_for_memory(-1.0)
+
+    def test_runs_needed_tradeoff(self):
+        """Less memory per run => more runs for the same sample count."""
+        model = MP3DModel()
+        samples = 10_000_000
+        assert model.runs_needed(samples, 50.0) > model.runs_needed(
+            samples, 200.0
+        )
+        with pytest.raises(WorkloadError):
+            model.runs_needed(samples, 0.0)
+
+    def test_paper_scan_rate(self):
+        """200 MB in 12 s: per-page compute is ~234 microseconds."""
+        config = MP3DConfig()
+        assert config.n_pages == 51200
+        assert config.compute_us_per_page == pytest.approx(234.4, abs=0.1)
+
+
+class TestOverlapClaim:
+    def test_ample_time_for_modest_shortfalls(self):
+        """The paper's claim: ample time to overlap prefetch/writeback
+        when the data slightly exceeds memory."""
+        model = MP3DModel()
+        assert model.overlap_feasible(10.0)
+        assert model.overlap_feasible(20.0)
+        assert not model.overlap_feasible(200.0)
+
+    def test_max_overlappable_is_consistent(self):
+        model = MP3DModel()
+        limit = model.max_overlappable_shortfall_mb()
+        assert model.overlap_feasible(limit * 0.99)
+        assert not model.overlap_feasible(min(200.0, limit * 1.05))
+
+    def test_shortfall_bounds_checked(self):
+        model = MP3DModel()
+        with pytest.raises(WorkloadError):
+            model.shortfall_io_us(-1.0)
+        with pytest.raises(WorkloadError):
+            model.shortfall_io_us(201.0)
+
+    def test_prefetch_fully_hides_feasible_shortfall(self):
+        model = MP3DModel()
+        base = model.simulate_timestep(0.0, prefetch=False)
+        prefetched = model.simulate_timestep(20.0, prefetch=True)
+        demand = model.simulate_timestep(20.0, prefetch=False)
+        assert prefetched == pytest.approx(base, rel=0.01)
+        assert demand > base * 1.2
+
+    def test_writeback_doubles_the_io(self):
+        model = MP3DModel()
+        read_only = model.simulate_timestep(
+            60.0, prefetch=False, writeback=False
+        )
+        with_wb = model.simulate_timestep(
+            60.0, prefetch=False, writeback=True
+        )
+        assert with_wb > read_only
+
+    def test_infeasible_shortfall_shows_even_with_prefetch(self):
+        model = MP3DModel()
+        base = model.simulate_timestep(0.0, prefetch=True)
+        heavy = model.simulate_timestep(
+            150.0, prefetch=True, writeback=True
+        )
+        assert heavy > base * 1.2
+
+
+class TestAdaptiveGC:
+    def test_adaptive_never_pages_live_data(self):
+        stats = run_gc_workload(adaptive=True)
+        assert stats.paging_io_operations == 0
+        assert stats.collections > 0
+        assert stats.garbage_pages_discarded > 0
+
+    def test_oblivious_thrashes(self):
+        stats = run_gc_workload(adaptive=False)
+        assert stats.paging_io_operations > 0
+
+    def test_more_memory_means_fewer_collections(self):
+        """'Adapt the frequency of collections to available physical
+        memory' --- more memory, fewer collections."""
+        small = run_gc_workload(adaptive=True, physical_frames=96)
+        large = run_gc_workload(adaptive=True, physical_frames=384)
+        assert large.collections < small.collections
+        assert large.paging_io_operations == 0
+
+    def test_same_allocations_both_policies(self):
+        a = run_gc_workload(adaptive=True)
+        b = run_gc_workload(adaptive=False)
+        assert a.pages_allocated == b.pages_allocated
+
+    def test_survivor_fraction_validation(self, system):
+        from repro.managers.discard_manager import DiscardableSegmentManager
+
+        manager = DiscardableSegmentManager(
+            system.kernel, system.spcm, initial_frames=8
+        )
+        with pytest.raises(WorkloadError):
+            AdaptiveGCApplication(
+                system.kernel, manager, 64, survivor_fraction=1.0
+            )
+
+    def test_oblivious_requires_threshold(self, system):
+        from repro.managers.discard_manager import DiscardableSegmentManager
+
+        manager = DiscardableSegmentManager(
+            system.kernel, system.spcm, initial_frames=32
+        )
+        app = AdaptiveGCApplication(
+            system.kernel, manager, 64, adaptive=False
+        )
+        with pytest.raises(WorkloadError):
+            app.allocate_pages(1)

@@ -1,0 +1,139 @@
+"""Multiple page sizes end to end (S2.1, the Alpha motivation).
+
+"A parameter to the segment creation call optionally specifies the page
+size to support machines such as those using the Alpha microprocessor
+that support multiple page sizes."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import Kernel
+from repro.errors import MigrationError
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import FrameRequest, SystemPageCacheManager
+
+LARGE = 16384  # 16 KB pages alongside the base 4 KB
+
+
+@pytest.fixture
+def world():
+    memory = PhysicalMemory(
+        128 * 4096, large_pools={LARGE: 32}
+    )
+    kernel = Kernel(memory)
+    spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(0))
+    return kernel, spcm
+
+
+class TestBootWithLargePages:
+    def test_separate_boot_segments(self, world):
+        kernel, _ = world
+        assert kernel.boot_segments[4096].resident_pages == 128
+        assert kernel.boot_segments[LARGE].resident_pages == 32
+        kernel.check_frame_conservation()
+
+    def test_spcm_tracks_pools_separately(self, world):
+        _, spcm = world
+        assert spcm.available_frames(4096) == 128
+        assert spcm.available_frames(LARGE) == 32
+
+
+class TestLargePageSegments:
+    def test_manager_with_large_page_size(self, world):
+        kernel, spcm = world
+        manager = GenericSegmentManager(
+            kernel, spcm, "large", initial_frames=8, page_size=LARGE
+        )
+        seg = kernel.create_segment(
+            4, page_size=LARGE, name="bigheap", manager=manager
+        )
+        frame = kernel.reference(seg, 0, write=True)
+        assert frame.page_size == LARGE
+        # one large page covers four small-page addresses
+        same = kernel.reference(seg, LARGE - 1, write=True)
+        assert same is frame
+        assert kernel.stats.faults == 1
+
+    def test_large_pages_reduce_translations(self, world):
+        """The large-page payoff: 4x fewer TLB entries for the same span."""
+        kernel, spcm = world
+        small_mgr = GenericSegmentManager(
+            kernel, spcm, "small", initial_frames=32
+        )
+        large_mgr = GenericSegmentManager(
+            kernel, spcm, "big", initial_frames=8, page_size=LARGE
+        )
+        span = 8 * LARGE  # 128 KB
+        small_seg = kernel.create_segment(
+            span // 4096, name="small", manager=small_mgr
+        )
+        large_seg = kernel.create_segment(
+            span // LARGE, page_size=LARGE, name="large", manager=large_mgr
+        )
+        for vaddr in range(0, span, 4096):
+            kernel.reference(small_seg, vaddr)
+        small_faults = kernel.stats.faults
+        for vaddr in range(0, span, 4096):
+            kernel.reference(large_seg, vaddr)
+        large_faults = kernel.stats.faults - small_faults
+        assert small_faults == 32
+        assert large_faults == 8
+
+    def test_cross_size_migration_rejected(self, world):
+        kernel, _ = world
+        small = kernel.create_segment(4)
+        large = kernel.create_segment(4, page_size=LARGE)
+        with pytest.raises(MigrationError):
+            kernel.migrate_pages(
+                kernel.boot_segments[LARGE], small, 0, 0, 1
+            )
+        with pytest.raises(MigrationError):
+            kernel.migrate_pages(
+                kernel.boot_segments[4096], large, 0, 0, 1
+            )
+
+    def test_large_frame_data_roundtrip(self, world):
+        kernel, spcm = world
+        manager = GenericSegmentManager(
+            kernel, spcm, "large", initial_frames=4, page_size=LARGE
+        )
+        seg = kernel.create_segment(
+            2, page_size=LARGE, name="data", manager=manager
+        )
+        frame = kernel.reference(seg, 0, write=True)
+        frame.write(b"tail", offset=LARGE - 4)
+        assert frame.read(LARGE - 4, 4) == b"tail"
+
+    def test_reclaim_and_return_large_frames(self, world):
+        kernel, spcm = world
+        manager = GenericSegmentManager(
+            kernel, spcm, "large", initial_frames=8, page_size=LARGE
+        )
+        seg = kernel.create_segment(
+            4, page_size=LARGE, name="bigheap", manager=manager
+        )
+        for page in range(4):
+            kernel.reference(seg, page * LARGE)
+        manager.reclaim_pages(4)
+        available = spcm.available_frames(LARGE)
+        manager.return_frames(manager.free_frames)
+        assert spcm.available_frames(LARGE) > available
+        kernel.check_frame_conservation()
+
+    def test_spcm_request_by_size(self, world):
+        kernel, spcm = world
+        manager = GenericSegmentManager(
+            kernel, spcm, "large", initial_frames=0, page_size=LARGE
+        )
+        pages = spcm.request_frames(
+            manager,
+            FrameRequest(manager.account, 4, page_size=LARGE),
+            manager.free_segment,
+        )
+        assert len(pages) == 4
+        for p in pages:
+            assert manager.free_segment.pages[p].page_size == LARGE

@@ -1,0 +1,117 @@
+"""Physical memory and page frames."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PhysicalMemoryError
+from repro.hw.phys_mem import PageFrame, PhysicalMemory
+
+
+class TestPageFrame:
+    def frame(self) -> PageFrame:
+        return PageFrame(pfn=3, page_size=4096, phys_addr=3 * 4096)
+
+    def test_reads_zero_before_any_write(self):
+        f = self.frame()
+        assert f.read() == bytes(4096)
+        assert not f.is_materialized
+
+    def test_write_then_read_roundtrip(self):
+        f = self.frame()
+        f.write(b"hello", offset=100)
+        assert f.read(100, 5) == b"hello"
+        assert f.read(99, 1) == b"\x00"
+        assert f.is_materialized
+
+    def test_partial_read_defaults_to_rest_of_page(self):
+        f = self.frame()
+        f.write(b"x" * 4096)
+        assert len(f.read(4000)) == 96
+
+    def test_zero_drops_contents(self):
+        f = self.frame()
+        f.write(b"data")
+        f.zero()
+        assert f.read(0, 4) == b"\x00\x00\x00\x00"
+        assert not f.is_materialized
+
+    def test_copy_from_copies_bytes(self):
+        a, b = self.frame(), PageFrame(4, 4096, 4 * 4096)
+        a.write(b"abc")
+        b.copy_from(a)
+        assert b.read(0, 3) == b"abc"
+        a.write(b"zzz")
+        assert b.read(0, 3) == b"abc"  # deep copy
+
+    def test_copy_from_unmaterialized_source_zeroes(self):
+        a, b = self.frame(), PageFrame(4, 4096, 4 * 4096)
+        b.write(b"junk")
+        b.copy_from(a)
+        assert b.read(0, 4) == bytes(4)
+
+    def test_copy_size_mismatch_rejected(self):
+        a = self.frame()
+        big = PageFrame(9, 16384, 0)
+        with pytest.raises(PhysicalMemoryError):
+            big.copy_from(a)
+
+    def test_out_of_range_access_rejected(self):
+        f = self.frame()
+        with pytest.raises(PhysicalMemoryError):
+            f.read(4000, 200)
+        with pytest.raises(PhysicalMemoryError):
+            f.write(b"x" * 10, offset=4090)
+        with pytest.raises(PhysicalMemoryError):
+            f.read(-1, 2)
+
+    def test_color_is_frame_number_mod_colors(self):
+        f = PageFrame(pfn=0, page_size=4096, phys_addr=5 * 4096)
+        assert f.color(4) == 1
+        assert f.color(16) == 5
+        with pytest.raises(ValueError):
+            f.color(0)
+
+
+class TestPhysicalMemory:
+    def test_frames_created_in_physical_order(self, memory):
+        assert memory.n_frames == 1024
+        addrs = [f.phys_addr for f in memory.frames()]
+        assert addrs == sorted(addrs)
+        assert memory.frame(10).phys_addr == 10 * 4096
+
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(PhysicalMemoryError):
+            PhysicalMemory(4097)
+        with pytest.raises(PhysicalMemoryError):
+            PhysicalMemory(0)
+
+    def test_large_pools_follow_base_frames(self):
+        mem = PhysicalMemory(8 * 4096, large_pools={16384: 2})
+        assert mem.n_frames == 10
+        big = mem.frames_of_size(16384)
+        assert len(big) == 2
+        assert big[0].phys_addr == 8 * 4096
+        assert big[1].phys_addr == 8 * 4096 + 16384
+        assert mem.size_bytes == 8 * 4096 + 2 * 16384
+
+    def test_large_pool_must_be_larger_multiple(self):
+        with pytest.raises(PhysicalMemoryError):
+            PhysicalMemory(4 * 4096, large_pools={4096: 1})
+        with pytest.raises(PhysicalMemoryError):
+            PhysicalMemory(4 * 4096, large_pools={5000: 1})
+
+    def test_frame_lookup_bounds(self, memory):
+        with pytest.raises(PhysicalMemoryError):
+            memory.frame(-1)
+        with pytest.raises(PhysicalMemoryError):
+            memory.frame(1024)
+
+    def test_frames_in_addr_range(self, memory):
+        frames = memory.frames_in_addr_range(8192, 16384)
+        assert [f.pfn for f in frames] == [2, 3]
+
+    def test_frame_at_addr(self, memory):
+        assert memory.frame_at_addr(4096 * 5 + 123).pfn == 5
+        with pytest.raises(PhysicalMemoryError):
+            memory.frame_at_addr(memory.size_bytes)

@@ -1,0 +1,90 @@
+"""Property test: random address-space layouts resolve consistently."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address_space import RegionSpec, build_address_space
+from repro.core.flags import PageFlags
+from repro.core.kernel import Kernel
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import SystemPageCacheManager
+
+region_specs = st.lists(
+    st.tuples(
+        st.integers(1, 6),    # pages
+        st.integers(0, 4),    # guard pages
+        st.booleans(),        # writable?
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_world():
+    kernel = Kernel(PhysicalMemory(512 * 4096))
+    spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(0))
+    manager = GenericSegmentManager(kernel, spcm, "prop", initial_frames=128)
+    return kernel, manager
+
+
+@given(region_specs)
+@settings(max_examples=40, deadline=None)
+def test_every_region_page_resolves_to_its_own_segment(layout):
+    kernel, manager = build_world()
+    specs = [
+        RegionSpec(
+            f"r{i}",
+            pages,
+            prot=PageFlags.rw() if writable else PageFlags.READ,
+            guard_pages=guard,
+        )
+        for i, (pages, guard, writable) in enumerate(layout)
+    ]
+    vas = build_address_space(kernel, manager, specs)
+    # regions never overlap
+    spans = sorted(
+        (r.start_page, r.end_page) for r in vas.regions.values()
+    )
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end <= start
+    # every page of every region resolves to that region's segment
+    for spec in specs:
+        region = vas.region(spec.name)
+        for page in range(region.n_pages):
+            res = vas.space.resolve(region.start_page + page)
+            assert res.owner is region.segment
+            assert res.page == page
+    # every gap page resolves to the space itself with no frame
+    covered = {
+        p
+        for r in vas.regions.values()
+        for p in range(r.start_page, r.end_page)
+    }
+    for page in range(vas.space.n_pages):
+        if page not in covered:
+            res = vas.space.resolve(page)
+            assert res.owner is vas.space
+            assert res.frame is None
+
+
+@given(region_specs)
+@settings(max_examples=25, deadline=None)
+def test_touching_every_writable_region_fills_exactly_its_pages(layout):
+    kernel, manager = build_world()
+    specs = [
+        RegionSpec(f"r{i}", pages, guard_pages=guard)
+        for i, (pages, guard, _) in enumerate(layout)
+    ]
+    vas = build_address_space(kernel, manager, specs)
+    for spec in specs:
+        region = vas.region(spec.name)
+        for page in range(region.n_pages):
+            vas.write(vas.addr(spec.name, page * 4096))
+    for spec in specs:
+        region = vas.region(spec.name)
+        assert region.segment.resident_pages == region.n_pages
+    kernel.check_frame_conservation()

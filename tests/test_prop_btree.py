@@ -1,0 +1,87 @@
+"""Property-based B+-tree tests: equivalence with a dict model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.dbms.btree import BPlusTree
+
+keys = st.integers(min_value=-10_000, max_value=10_000)
+
+
+@given(st.lists(st.tuples(keys, st.integers())))
+def test_insert_matches_dict_model(pairs):
+    tree = BPlusTree(order=4)
+    model: dict[int, int] = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        model[key] = value
+    assert len(tree) == len(model)
+    for key, value in model.items():
+        assert tree.search(key) == value
+    assert [k for k, _ in tree.items()] == sorted(model)
+    tree.check_invariants()
+
+
+@given(st.lists(keys), st.lists(keys))
+def test_delete_matches_dict_model(inserted, deleted):
+    tree = BPlusTree(order=4)
+    model: dict[int, int] = {}
+    for key in inserted:
+        tree.insert(key, key)
+        model[key] = key
+    for key in deleted:
+        assert tree.delete(key) == (key in model)
+        model.pop(key, None)
+    assert dict(tree.items()) == model
+    tree.check_invariants()
+
+
+@given(st.lists(keys, min_size=1), keys, keys)
+def test_range_matches_sorted_filter(inserted, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = BPlusTree(order=6)
+    for key in inserted:
+        tree.insert(key, key)
+    expected = [(k, k) for k in sorted(set(inserted)) if lo <= k < hi]
+    assert list(tree.range(lo, hi)) == expected
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Interleaved operations keep the tree equivalent to a dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model: dict[int, int] = {}
+
+    @rule(key=keys, value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=keys)
+    def search(self, key):
+        assert self.tree.search(key) == self.model.get(key)
+
+    @invariant()
+    def structurally_valid(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+
+TestBTreeStateMachine = BTreeMachine.TestCase
+TestBTreeStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,109 @@
+"""Property tests: COW isolation and the clock guarantee."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flags import PageFlags
+from repro.core.kernel import Kernel
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+from repro.managers.clock import ClockReplacer
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import SystemPageCacheManager
+
+N_PAGES = 8
+
+
+def build_world():
+    kernel = Kernel(PhysicalMemory(256 * 4096))
+    spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(0))
+    manager = GenericSegmentManager(kernel, spcm, "prop", initial_frames=64)
+    return kernel, manager
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, N_PAGES - 1), st.booleans()),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_cow_source_is_never_altered(accesses):
+    """Invariant 3: whatever mix of reads and writes hits the shadow, the
+    source segment's bytes never change."""
+    kernel, manager = build_world()
+    source = kernel.create_segment(N_PAGES, name="src", manager=manager)
+    originals = {}
+    for page in range(N_PAGES):
+        kernel.reference(source, page * 4096, write=True)
+        source.pages[page].write(bytes([page]) * 64)
+        originals[page] = source.pages[page].read(0, 64)
+    shadow = kernel.create_segment(
+        N_PAGES, name="shadow", manager=manager, cow_source=source
+    )
+    for page, write in accesses:
+        frame = kernel.reference(shadow, page * 4096, write=write)
+        if write:
+            frame.write(b"X" * 64)
+    for page in range(N_PAGES):
+        assert source.pages[page].read(0, 64) == originals[page]
+    kernel.check_frame_conservation()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, N_PAGES - 1), st.booleans()),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_cow_reads_see_writes_consistently(accesses):
+    """After the first write to a shadow page, reads see the private
+    data; before it, they see the source."""
+    kernel, manager = build_world()
+    source = kernel.create_segment(N_PAGES, name="src", manager=manager)
+    for page in range(N_PAGES):
+        kernel.reference(source, page * 4096, write=True)
+        source.pages[page].write(b"S" * 8)
+    shadow = kernel.create_segment(
+        N_PAGES, name="shadow", manager=manager, cow_source=source
+    )
+    privatized: set[int] = set()
+    for page, write in accesses:
+        frame = kernel.reference(shadow, page * 4096, write=write)
+        if write:
+            frame.write(b"P" * 8)
+            privatized.add(page)
+        else:
+            expected = b"P" * 8 if page in privatized else b"S" * 8
+            assert frame.read(0, 8) == expected
+
+
+@given(
+    st.sets(st.integers(0, N_PAGES - 1)),
+    st.integers(1, N_PAGES),
+)
+@settings(max_examples=60, deadline=None)
+def test_clock_never_evicts_referenced_while_unreferenced_remain(
+    referenced_pages, want
+):
+    """Invariant 5: the clock prefers unreferenced pages strictly."""
+    kernel, manager = build_world()
+    clock = ClockReplacer(manager)
+    seg = kernel.create_segment(N_PAGES, name="s", manager=manager)
+    for page in range(N_PAGES):
+        kernel.reference(seg, page * 4096)
+        kernel.modify_page_flags(
+            seg, page, 1, clear_flags=PageFlags.REFERENCED
+        )
+    for page in referenced_pages:
+        kernel.reference(seg, page * 4096)
+    unreferenced = N_PAGES - len(referenced_pages)
+    victims = clock.select_victims(min(want, max(unreferenced, 0)) or 1)
+    victim_pages = {p for _, p in victims}
+    if unreferenced >= len(victims):
+        assert victim_pages.isdisjoint(referenced_pages)

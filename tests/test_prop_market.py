@@ -1,0 +1,68 @@
+"""Property tests for the dram market: conservation and charge law."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spcm.market import MarketConfig, MemoryMarket
+
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=10.0),   # dt
+        st.floats(min_value=0.0, max_value=100.0),   # holding MB for "a"
+        st.floats(min_value=0.0, max_value=5.0),     # IO MB for "b"
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(steps)
+@settings(max_examples=60)
+def test_drams_conserved_under_arbitrary_histories(history):
+    market = MemoryMarket(
+        MarketConfig(free_when_uncontended=False, savings_tax_threshold=5.0)
+    )
+    market.open_account("a", income_per_second=7.0)
+    market.open_account("b", income_per_second=3.0)
+    now = 0.0
+    for dt, holding, io_mb in history:
+        now += dt
+        market.set_holding("a", holding)
+        market.advance(now)
+        market.charge_io("b", io_mb)
+        assert abs(market.total_drams()) < 1e-6
+
+
+@given(
+    st.floats(min_value=0.1, max_value=50.0),
+    st.floats(min_value=0.1, max_value=20.0),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_charge_is_exactly_m_d_t(holding_mb, duration, price):
+    market = MemoryMarket(
+        MarketConfig(
+            price_per_mb_second=price,
+            income_per_second=0.0,
+            savings_tax_rate=0.0,
+            free_when_uncontended=False,
+        )
+    )
+    account = market.open_account("p")
+    market.set_holding("p", holding_mb)
+    market.advance(duration)
+    assert abs(
+        account.total_memory_charges - holding_mb * price * duration
+    ) < 1e-6
+
+
+@given(st.floats(min_value=0.0, max_value=1000.0), st.floats(0.1, 100.0))
+def test_affordable_seconds_is_exact_for_draining_holdings(balance, holding):
+    market = MemoryMarket(
+        MarketConfig(price_per_mb_second=1.0, income_per_second=0.0)
+    )
+    account = market.open_account("p")
+    account.balance = balance
+    horizon = market.affordable_seconds("p", holding)
+    assert abs(horizon - balance / holding) < 1e-9

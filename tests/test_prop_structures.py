@@ -1,0 +1,91 @@
+"""Property tests for translation structures, the cache, and tallies."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.cache import PhysicallyIndexedCache
+from repro.hw.page_table import GlobalHashPageTable, Translation
+from repro.hw.tlb import TLB
+from repro.sim.stats import Tally
+
+space_ids = st.integers(0, 3)
+vpns = st.integers(0, 63)
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup", "remove"]), space_ids, vpns),
+    max_size=200,
+)
+
+
+@given(ops)
+def test_hash_page_table_never_lies(operations):
+    """The table may *forget* entries (direct-mapped, soft misses) but a
+    hit must always return the most recently inserted translation."""
+    pt = GlobalHashPageTable(n_entries=16, overflow_entries=4)
+    model: dict[tuple[int, int], int] = {}
+    counter = 0
+    for op, space, vpn in operations:
+        if op == "insert":
+            counter += 1
+            pt.insert(Translation(space, vpn, counter))
+            model[(space, vpn)] = counter
+        elif op == "remove":
+            pt.remove(space, vpn)
+            model.pop((space, vpn), None)
+        else:
+            entry = pt.lookup(space, vpn)
+            if entry is not None:
+                assert model.get((space, vpn)) == entry.pfn
+
+
+@given(ops)
+def test_tlb_never_lies_and_respects_capacity(operations):
+    tlb = TLB(8)
+    model: dict[tuple[int, int], int] = {}
+    counter = 0
+    for op, space, vpn in operations:
+        if op == "insert":
+            counter += 1
+            tlb.insert(space, vpn, counter)
+            model[(space, vpn)] = counter
+        elif op == "remove":
+            tlb.invalidate(space, vpn)
+            model.pop((space, vpn), None)
+        else:
+            got = tlb.lookup(space, vpn)
+            if got is not None:
+                assert model.get((space, vpn)) == got
+        assert len(tlb) <= 8
+
+
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+def test_cache_hits_iff_line_most_recent_in_its_set(addresses):
+    cache = PhysicallyIndexedCache(1024, line_size=16, page_size=256)
+    resident: dict[int, int] = {}
+    for addr in addresses:
+        line = addr // 16
+        idx = line % cache.n_lines
+        expected_hit = resident.get(idx) == line
+        assert cache.access(addr) == expected_hit
+        resident[idx] = line
+    assert cache.stats.accesses == len(addresses)
+    assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_tally_summary_statistics(values):
+    tally = Tally()
+    for v in values:
+        tally.record(v)
+    assert tally.count == len(values)
+    assert tally.maximum == max(values)
+    assert tally.minimum == min(values)
+    assert math.isclose(tally.mean, sum(values) / len(values), rel_tol=1e-9)
+    assert tally.percentile(100) == max(values)
+    # percentiles are monotone
+    ps = [tally.percentile(p) for p in (0, 25, 50, 75, 100)]
+    assert ps == sorted(ps)

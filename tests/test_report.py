@@ -1,0 +1,55 @@
+"""The report generator end to end."""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.analysis.report import (
+    main,
+    render_figures,
+    render_table1,
+    render_tables2_and_3,
+)
+
+
+class TestRenderers:
+    def test_table1_text(self):
+        text = render_table1()
+        assert "Table 1" in text
+        assert "107" in text and "379" in text and "175" in text
+        assert "0.0%" in text
+
+    def test_tables_2_and_3_text(self):
+        t2, t3 = render_tables2_and_3()
+        for app in ("diff", "uncompress", "latex"):
+            assert app in t2 and app in t3
+        assert "3.99" in t2
+        assert "372" in t3
+
+    def test_figures_text(self):
+        text = render_figures()
+        assert "Figure 1" in text and "Figure 2" in text
+        assert "MigratePages" in text
+
+
+@pytest.mark.slow
+class TestMainEntryPoint:
+    def test_quick_run_prints_everything(self):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = main(["--quick"])
+        text = out.getvalue()
+        assert code == 0
+        for marker in (
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Figure 1",
+            "Figure 2",
+            "Kernel vs. process-level policy",
+        ):
+            assert marker in text

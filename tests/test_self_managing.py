@@ -1,0 +1,157 @@
+"""The self-managing manager: init sequence, pinning, swap protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flags import PageFlags
+from repro.errors import ManagerError
+from repro.managers.self_managing import SelfManagingManager
+
+
+@pytest.fixture
+def manager(system):
+    return SelfManagingManager(
+        system.kernel,
+        system.spcm,
+        system.default_manager,
+        file_server=system.file_server,
+        initial_frames=64,
+    )
+
+
+class TestActivation:
+    def test_own_segments_start_under_default_manager(self, system, manager):
+        assert manager.code_segment.manager is system.default_manager
+        assert manager.data_segment.manager is system.default_manager
+        assert manager.signal_stack.manager is system.default_manager
+
+    def test_activation_assumes_management_and_pins(self, system, manager):
+        retries = manager.activate()
+        assert retries == 0
+        assert manager.active
+        for seg in (
+            manager.code_segment,
+            manager.data_segment,
+            manager.signal_stack,
+        ):
+            assert seg.manager is manager
+            assert seg.resident_pages == seg.n_pages
+            assert all(
+                PageFlags.PINNED & PageFlags(f.flags)
+                for f in seg.pages.values()
+            )
+            assert seg.seg_id in manager.pinned_segments
+
+    def test_own_pages_never_chosen_as_victims(self, system, manager):
+        manager.activate()
+        app = system.kernel.create_segment(8, name="app", manager=manager)
+        for page in range(8):
+            system.kernel.reference(app, page * 4096)
+        victims = manager.select_victims(100)
+        own_ids = {
+            manager.code_segment.seg_id,
+            manager.data_segment.seg_id,
+            manager.signal_stack.seg_id,
+        }
+        assert all(seg.seg_id not in own_ids for seg, _ in victims)
+
+    def test_retry_when_pages_reclaimed_between_steps(self, system, manager):
+        """The paper's retry loop: a fault after assuming ownership causes
+        the initialization sequence to be retried until it succeeds."""
+        default = system.default_manager
+        original_set_manager = system.kernel.set_segment_manager
+        stolen = {"done": False}
+
+        def thieving_set_manager(segment, new_manager):
+            original_set_manager(segment, new_manager)
+            # just after the manager assumes its data segment, the old
+            # manager's clock steals a page (once)
+            if (
+                new_manager is manager
+                and segment is manager.data_segment
+                and not stolen["done"]
+                and segment.pages
+            ):
+                stolen["done"] = True
+                page = next(iter(segment.pages))
+                manager.reclaim_one(segment, page)
+                manager.invalidate_reclaim_cache()
+
+        system.kernel.set_segment_manager = thieving_set_manager  # type: ignore[method-assign]
+        try:
+            retries = manager.activate()
+        finally:
+            system.kernel.set_segment_manager = original_set_manager  # type: ignore[method-assign]
+        assert retries >= 1
+        assert manager.active
+        assert all(
+            seg.resident_pages == seg.n_pages
+            for seg in (manager.code_segment, manager.data_segment)
+        )
+
+
+class TestSignalStack:
+    def test_fault_handling_requires_resident_signal_stack(
+        self, system, manager
+    ):
+        manager.activate()
+        app = system.kernel.create_segment(4, name="app", manager=manager)
+        # force the signal stack out from under the manager
+        manager.unpin_segment(manager.signal_stack)
+        system.kernel.modify_page_flags(
+            manager.signal_stack,
+            0,
+            manager.signal_stack.n_pages,
+            clear_flags=PageFlags.PINNED,
+        )
+        for page in list(manager.signal_stack.pages):
+            manager.reclaim_one(manager.signal_stack, page)
+        with pytest.raises(ManagerError):
+            system.kernel.reference(app, 0)
+
+
+class TestSwapProtocol:
+    def test_swap_out_and_resume_roundtrip(self, system, manager):
+        kernel = system.kernel
+        manager.activate()
+        app = kernel.create_segment(8, name="app", manager=manager)
+        for page in range(8):
+            frame = kernel.reference(app, page * 4096, write=True)
+            frame.write(bytes([page]) * 32)
+        swapped = manager.swap_out([app])
+        assert swapped == 8
+        assert app.resident_pages == 0
+        assert not manager.active
+        # own segments returned to the default manager
+        assert manager.code_segment.manager is system.default_manager
+
+        manager.resume()
+        assert manager.active
+        for page in range(8):
+            frame = kernel.reference(app, page * 4096)
+            assert frame.read(0, 32) == bytes([page]) * 32  # swap round trip
+        kernel.check_frame_conservation()
+
+    def test_swap_charges_io_for_dirty_pages_only(self, system, manager):
+        kernel = system.kernel
+        manager.activate()
+        app = kernel.create_segment(8, name="app", manager=manager)
+        for page in range(4):
+            kernel.reference(app, page * 4096, write=True)   # dirty
+        for page in range(4, 8):
+            kernel.reference(app, page * 4096, write=False)  # clean
+        kernel.meter.reset()
+        manager.swap_out([app])
+        swap_out_count = kernel.meter.counts.get("swap_out", 0)
+        assert swap_out_count == 4
+
+    def test_own_segments_rejected_from_swap_list(self, system, manager):
+        manager.activate()
+        with pytest.raises(ManagerError):
+            manager.swap_out([manager.code_segment])
+
+    def test_swap_requires_active(self, system, manager):
+        app = system.kernel.create_segment(4, name="app", manager=manager)
+        with pytest.raises(ManagerError):
+            manager.swap_out([app])

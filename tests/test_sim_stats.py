@@ -1,0 +1,116 @@
+"""Statistics collectors and random streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import RandomSource
+from repro.sim.stats import Tally, UtilizationTracker
+
+
+class TestTally:
+    def test_empty(self):
+        t = Tally()
+        assert t.count == 0
+        assert t.mean == 0.0
+        assert t.maximum == 0.0
+        assert t.percentile(50) == 0.0
+
+    def test_moments(self):
+        t = Tally()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            t.record(v)
+        assert t.mean == 2.5
+        assert t.maximum == 4.0
+        assert t.minimum == 1.0
+        assert t.total == 10.0
+        assert abs(t.stddev - 1.2909944) < 1e-6
+
+    def test_percentiles_nearest_rank(self):
+        t = Tally()
+        for v in range(1, 101):
+            t.record(float(v))
+        assert t.percentile(50) == 50.0
+        assert t.percentile(95) == 95.0
+        assert t.percentile(100) == 100.0
+        assert t.percentile(0) == 1.0
+
+    def test_percentile_bounds(self):
+        t = Tally()
+        t.record(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(101)
+
+    def test_values_copy(self):
+        t = Tally()
+        t.record(1.0)
+        vs = t.values()
+        vs.append(99.0)
+        assert t.count == 1
+
+
+class TestUtilizationTracker:
+    def test_area_accumulates(self):
+        u = UtilizationTracker()
+        u.update(0.0, 2.0)
+        u.update(10.0, 4.0)   # level 2 for 10
+        u.update(15.0, 0.0)   # level 4 for 5
+        assert u.area == 2.0 * 10 + 4.0 * 5
+        assert u.mean_level(20.0) == (20 + 20) / 20.0
+        assert u.peak == 4.0
+
+    def test_time_cannot_go_backwards(self):
+        u = UtilizationTracker()
+        u.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            u.update(4.0, 1.0)
+
+    def test_mean_level_zero_horizon(self):
+        assert UtilizationTracker().mean_level(0.0) == 0.0
+
+
+class TestRandomSource:
+    def test_deterministic_with_seed(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_substreams_are_independent_of_consumption(self):
+        a = RandomSource(7)
+        first = a.substream("x").random()
+        b = RandomSource(7)
+        b.random()  # consume from the parent first
+        assert b.substream("x").random() == first
+
+    def test_substream_identity(self):
+        a = RandomSource(7)
+        assert a.substream("x") is a.substream("x")
+
+    def test_exponential_mean(self):
+        rng = RandomSource(3)
+        n = 20000
+        mean = sum(rng.exponential(10.0) for _ in range(n)) / n
+        assert abs(mean - 10.0) < 0.3
+        with pytest.raises(ValueError):
+            rng.exponential(0.0)
+
+    def test_bernoulli(self):
+        rng = RandomSource(3)
+        n = 20000
+        hits = sum(rng.bernoulli(0.25) for _ in range(n))
+        assert abs(hits / n - 0.25) < 0.02
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+
+    def test_randint_bounds(self):
+        rng = RandomSource(3)
+        values = {rng.randint(2, 4) for _ in range(200)}
+        assert values == {2, 3, 4}
+
+    def test_choice_and_shuffle(self):
+        rng = RandomSource(3)
+        items = [1, 2, 3, 4]
+        assert rng.choice(items) in items
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items

@@ -1,0 +1,53 @@
+"""Small public APIs not covered elsewhere."""
+
+from __future__ import annotations
+
+from repro.dbms.locking import LockMode, Transaction
+from repro.managers.base import GenericSegmentManager
+from repro.managers.discard_manager import DiscardableSegmentManager
+from repro.workloads.apps import diff_model
+from repro.workloads.runner import run_on_vpp
+
+
+class TestTransactionHoldsAtLeast:
+    def test_strength_comparison(self):
+        txn = Transaction(1)
+        txn.held["r"] = LockMode.SIX
+        assert txn.holds_at_least("r", LockMode.S)
+        assert txn.holds_at_least("r", LockMode.IX)
+        assert txn.holds_at_least("r", LockMode.SIX)
+        assert not txn.holds_at_least("r", LockMode.X)
+        assert not txn.holds_at_least("missing", LockMode.IS)
+
+
+class TestIsDiscardable:
+    def test_marks_reflected(self, system):
+        manager = DiscardableSegmentManager(
+            system.kernel, system.spcm, initial_frames=8
+        )
+        seg = system.kernel.create_segment(4, manager=manager)
+        assert not manager.is_discardable(seg, 0)
+        manager.mark_discardable(seg, 0, 2)
+        assert manager.is_discardable(seg, 0)
+        assert manager.is_discardable(seg, 1)
+        assert not manager.is_discardable(seg, 2)
+        manager.mark_live(seg, 0)
+        assert not manager.is_discardable(seg, 0)
+
+
+class TestResidentPagesOf:
+    def test_lists_backed_pages_sorted(self, system):
+        manager = GenericSegmentManager(
+            system.kernel, system.spcm, "listing", initial_frames=16
+        )
+        seg = system.kernel.create_segment(8, manager=manager)
+        for page in (5, 1, 3):
+            system.kernel.reference(seg, page * 4096)
+        assert manager.resident_pages_of(seg) == [1, 3, 5]
+
+
+class TestRunResultProperties:
+    def test_vm_ms_consistent_with_vm_us(self):
+        result = run_on_vpp(diff_model())
+        assert result.vm_ms == result.vm_us / 1000.0
+        assert result.vm_ms > 0

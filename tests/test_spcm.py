@@ -1,0 +1,194 @@
+"""The System Page Cache Manager: grants, constraints, zero-fill."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flags import PageFlags
+from repro.core.kernel import Kernel
+from repro.errors import AllocationRefusedError, SPCMError
+from repro.managers.base import GenericSegmentManager
+from repro.spcm.policy import ReservePolicy
+from repro.spcm.spcm import FrameRequest, SystemPageCacheManager
+
+
+@pytest.fixture
+def world(memory):
+    kernel = Kernel(memory)
+    spcm = SystemPageCacheManager(kernel, policy=ReservePolicy(reserve_frames=16))
+    manager = GenericSegmentManager(kernel, spcm, "app", initial_frames=0)
+    return kernel, spcm, manager
+
+
+class TestGrants:
+    def test_grant_moves_frames_from_boot(self, world):
+        kernel, spcm, manager = world
+        before = spcm.available_frames()
+        pages = spcm.request_frames(
+            manager, FrameRequest("app", 8), manager.free_segment
+        )
+        assert len(pages) == 8
+        assert spcm.available_frames() == before - 8
+        assert spcm.held_by("app") == 8
+        kernel.check_frame_conservation()
+
+    def test_grants_append_contiguously(self, world):
+        _, spcm, manager = world
+        pages = spcm.request_frames(
+            manager, FrameRequest("app", 8), manager.free_segment
+        )
+        assert pages == list(range(pages[0], pages[0] + 8))
+
+    def test_partial_grant_at_reserve(self, world):
+        _, spcm, manager = world
+        available = spcm.available_frames()
+        pages = spcm.request_frames(
+            manager,
+            FrameRequest("app", available),
+            manager.free_segment,
+        )
+        assert len(pages) == available - 16  # reserve kept back
+
+    def test_defer_when_only_reserve_remains(self, world):
+        _, spcm, manager = world
+        available = spcm.available_frames()
+        spcm.request_frames(
+            manager, FrameRequest("app", available), manager.free_segment
+        )
+        pages = spcm.request_frames(
+            manager, FrameRequest("app", 1), manager.free_segment
+        )
+        assert pages == []
+        assert spcm.deferred_requests == 1
+
+    def test_zero_frames_rejected(self, world):
+        _, spcm, manager = world
+        with pytest.raises(SPCMError):
+            spcm.request_frames(
+                manager, FrameRequest("app", 0), manager.free_segment
+            )
+
+    def test_return_frames(self, world):
+        kernel, spcm, manager = world
+        pages = spcm.request_frames(
+            manager, FrameRequest("app", 4), manager.free_segment
+        )
+        available = spcm.available_frames()
+        spcm.return_frames(manager, manager.free_segment, pages)
+        assert spcm.available_frames() == available + 4
+        assert spcm.held_by("app") == 0
+        kernel.check_frame_conservation()
+
+    def test_return_unbacked_page_rejected(self, world):
+        _, spcm, manager = world
+        manager.free_segment.grow(1)
+        with pytest.raises(SPCMError):
+            spcm.return_frames(
+                manager, manager.free_segment, [manager.free_segment.n_pages - 1]
+            )
+
+
+class TestConstraints:
+    def test_physical_range_constraint(self, world):
+        kernel, spcm, manager = world
+        pages = spcm.request_frames(
+            manager,
+            FrameRequest("app", 4, phys_lo=100 * 4096, phys_hi=104 * 4096),
+            manager.free_segment,
+        )
+        assert len(pages) == 4
+        addrs = sorted(
+            manager.free_segment.pages[p].phys_addr for p in pages
+        )
+        assert addrs == [100 * 4096 + i * 4096 for i in range(4)]
+
+    def test_constrained_request_partially_satisfied(self, world):
+        """'It allocates and provides as many page frames as it can'
+        (S2.4)."""
+        _, spcm, manager = world
+        pages = spcm.request_frames(
+            manager,
+            FrameRequest("app", 10, phys_lo=0, phys_hi=4 * 4096),
+            manager.free_segment,
+        )
+        assert len(pages) == 4
+
+    def test_color_constraint(self, world):
+        _, spcm, manager = world
+        pages = spcm.request_frames(
+            manager,
+            FrameRequest("app", 4, colors=frozenset({3}), n_colors=16),
+            manager.free_segment,
+        )
+        assert len(pages) == 4
+        for p in pages:
+            assert manager.free_segment.pages[p].color(16) == 3
+
+    def test_color_requires_modulus(self, world):
+        _, spcm, manager = world
+        with pytest.raises(SPCMError):
+            spcm.request_frames(
+                manager,
+                FrameRequest("app", 1, colors=frozenset({1})),
+                manager.free_segment,
+            )
+
+    def test_page_size_must_exist(self, world):
+        _, spcm, manager = world
+        with pytest.raises(SPCMError):
+            spcm.request_frames(
+                manager,
+                FrameRequest("app", 1, page_size=16384),
+                manager.free_segment,
+            )
+
+
+class TestZeroFillAcrossUsers:
+    def test_cross_account_transfer_zeroes(self, world):
+        kernel, spcm, manager = world
+        other = GenericSegmentManager(kernel, spcm, "other", initial_frames=0)
+        pages = spcm.request_frames(
+            manager, FrameRequest("app", 1), manager.free_segment
+        )
+        frame = manager.free_segment.pages[pages[0]]
+        frame.write(b"secret")
+        spcm.return_frames(manager, manager.free_segment, pages)
+        got = spcm.request_frames(
+            other, FrameRequest("other", spcm.available_frames()),
+            other.free_segment,
+        )
+        # our frame is among them, zeroed in transit
+        zeroed = [
+            other.free_segment.pages[p]
+            for p in got
+            if other.free_segment.pages[p] is frame
+        ]
+        assert zeroed and zeroed[0].read(0, 6) == bytes(6)
+        assert kernel.stats.zero_fills >= 1
+
+    def test_same_account_reallocation_keeps_data(self, world):
+        """The V++ economy: no zeroing unless the user changes (S3.1)."""
+        kernel, spcm, manager = world
+        pages = spcm.request_frames(
+            manager, FrameRequest("app", 1), manager.free_segment
+        )
+        frame = manager.free_segment.pages[pages[0]]
+        frame.write(b"mine")
+        spcm.return_frames(manager, manager.free_segment, pages)
+        zero_before = kernel.stats.zero_fills
+        spcm.request_frames(
+            manager, FrameRequest("app", spcm.available_frames()),
+            manager.free_segment,
+        )
+        assert kernel.stats.zero_fills == zero_before
+
+
+class TestForcedReclaim:
+    def test_force_reclaim_calls_manager(self, world):
+        kernel, spcm, manager = world
+        manager.request_frames(16)
+        seg = kernel.create_segment(8, manager=manager)
+        for page in range(8):
+            kernel.reference(seg, page * 4096)
+        freed = spcm.force_reclaim(manager, 8)
+        assert freed == 8

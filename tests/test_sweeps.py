@@ -1,0 +1,41 @@
+"""The sweep utilities."""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import (
+    SweepPoint,
+    render_series,
+    sweep_arrival_rate,
+)
+from repro.dbms.transactions import IndexPolicy
+
+
+class TestSweeps:
+    def test_arrival_sweep_shape(self):
+        points = sweep_arrival_rate(
+            IndexPolicy.IN_MEMORY, (10.0, 30.0), duration_s=10.0
+        )
+        assert [p.x for p in points] == [10.0, 30.0]
+        assert all(p.avg_response_ms > 0 for p in points)
+        assert points[0].cpu_utilization < points[1].cpu_utilization
+
+    def test_points_are_deterministic(self):
+        a = sweep_arrival_rate(IndexPolicy.IN_MEMORY, (20.0,), duration_s=10.0)
+        b = sweep_arrival_rate(IndexPolicy.IN_MEMORY, (20.0,), duration_s=10.0)
+        assert a == b
+
+
+class TestRenderSeries:
+    def test_renders_bars(self):
+        points = [
+            SweepPoint(10.0, 50.0, 100.0, 0.1),
+            SweepPoint(20.0, 100.0, 300.0, 0.2),
+        ]
+        text = render_series("demo", points, x_label="tps")
+        assert "demo" in text
+        assert "tps=" in text
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert len(lines[1].split("#")) > len(lines[0].split("#"))
+
+    def test_empty_series(self):
+        assert "(no points)" in render_series("empty", [])

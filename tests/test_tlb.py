@@ -1,0 +1,77 @@
+"""The software-managed TLB model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.tlb import TLB
+
+
+class TestTLB:
+    def test_insert_lookup(self):
+        tlb = TLB(4)
+        tlb.insert(1, 10, (42, True))
+        assert tlb.lookup(1, 10) == (42, True)
+        assert tlb.stats.hits == 1
+
+    def test_miss(self):
+        tlb = TLB(4)
+        assert tlb.lookup(1, 10) is None
+        assert tlb.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        tlb = TLB(2)
+        tlb.insert(1, 1, "a")
+        tlb.insert(1, 2, "b")
+        tlb.lookup(1, 1)          # refresh 1 -> LRU victim is 2
+        tlb.insert(1, 3, "c")
+        assert tlb.lookup(1, 2) is None
+        assert tlb.lookup(1, 1) == "a"
+        assert tlb.lookup(1, 3) == "c"
+        assert tlb.stats.evictions == 1
+
+    def test_reinsert_does_not_evict(self):
+        tlb = TLB(2)
+        tlb.insert(1, 1, "a")
+        tlb.insert(1, 2, "b")
+        tlb.insert(1, 1, "a2")
+        assert len(tlb) == 2
+        assert tlb.stats.evictions == 0
+        assert tlb.lookup(1, 1) == "a2"
+
+    def test_invalidate(self):
+        tlb = TLB(4)
+        tlb.insert(1, 1, "a")
+        assert tlb.invalidate(1, 1)
+        assert not tlb.invalidate(1, 1)
+        assert tlb.lookup(1, 1) is None
+
+    def test_flush_space(self):
+        tlb = TLB(8)
+        tlb.insert(1, 1, "a")
+        tlb.insert(1, 2, "b")
+        tlb.insert(2, 1, "c")
+        assert tlb.flush_space(1) == 2
+        assert tlb.lookup(2, 1) == "c"
+        assert tlb.lookup(1, 1) is None
+
+    def test_flush_all(self):
+        tlb = TLB(8)
+        tlb.insert(1, 1, "a")
+        tlb.flush()
+        assert len(tlb) == 0
+        assert tlb.stats.flushes == 1
+
+    def test_r3000_default_size(self):
+        assert TLB().n_entries == 64
+
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            TLB(0)
+
+    def test_hit_rate(self):
+        tlb = TLB(4)
+        tlb.insert(1, 1, "a")
+        tlb.lookup(1, 1)
+        tlb.lookup(1, 2)
+        assert tlb.stats.hit_rate == 0.5

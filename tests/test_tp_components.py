@@ -1,0 +1,150 @@
+"""Unit tests for the TP simulator's components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dbms.locking import LockManager
+from repro.dbms.relations import bank_database
+from repro.dbms.simulator import TPConfig, run_tp_experiment
+from repro.dbms.transactions import (
+    IndexPolicy,
+    TPContext,
+    debit_credit,
+    join_transaction,
+    use_cpu,
+)
+from repro.dbms.workload import TransactionMix
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+from repro.sim.rng import RandomSource
+
+
+def make_ctx(n_cpus=2, policy=IndexPolicy.NONE, **cfg):
+    engine = Engine()
+    config = TPConfig(policy=policy, **cfg)
+    ctx = TPContext(
+        engine=engine,
+        cpu=Resource(engine, n_cpus),
+        locks=LockManager(engine),
+        db=bank_database(16),
+        config=config,
+        rng=RandomSource(5),
+    )
+    return engine, ctx
+
+
+class TestUseCpu:
+    def test_holds_and_releases(self):
+        engine, ctx = make_ctx(n_cpus=1)
+
+        def proc():
+            yield from use_cpu(ctx, 100.0)
+            yield from use_cpu(ctx, 50.0)
+
+        p = engine.spawn(proc())
+        engine.run()
+        assert p.finished
+        assert engine.now == 150.0
+        assert ctx.cpu.in_use == 0
+        assert ctx.cpu_busy_us == 150.0
+
+    def test_zero_compute_is_free(self):
+        engine, ctx = make_ctx()
+
+        def proc():
+            yield from use_cpu(ctx, 0.0)
+
+        engine.spawn(proc())
+        engine.run()
+        assert engine.now == 0.0
+
+    def test_cpu_contention_serializes(self):
+        engine, ctx = make_ctx(n_cpus=1)
+
+        def proc():
+            yield from use_cpu(ctx, 100.0)
+
+        engine.spawn(proc())
+        engine.spawn(proc())
+        engine.run()
+        assert engine.now == 200.0
+
+
+class TestTransactionProcesses:
+    def test_debit_credit_completes_and_records(self):
+        engine, ctx = make_ctx()
+        engine.spawn(debit_credit(ctx, 1, measured=True))
+        engine.run()
+        assert ctx.completed == 1
+        assert ctx.response_dc.count == 1
+        # service >= the configured compute
+        assert ctx.response_dc.mean >= ctx.config.dc_compute_us
+
+    def test_unmeasured_transactions_not_recorded(self):
+        engine, ctx = make_ctx()
+        engine.spawn(debit_credit(ctx, 1, measured=False))
+        engine.run()
+        assert ctx.completed == 1
+        assert ctx.response_all.count == 0
+
+    def test_join_without_index_scans(self):
+        engine, ctx = make_ctx(policy=IndexPolicy.NONE)
+        engine.spawn(join_transaction(ctx, 1, measured=True))
+        engine.run()
+        assert ctx.response_join.count == 1
+        assert ctx.response_join.mean >= ctx.config.join_scan_compute_us
+
+    def test_join_releases_every_lock(self):
+        engine, ctx = make_ctx(policy=IndexPolicy.NONE)
+        engine.spawn(join_transaction(ctx, 1, measured=True))
+        engine.run()
+        assert ctx.locks.holders(("rel", "accounts")) == {}
+        assert ctx.locks.holders("db") == {}
+
+    def test_join_blocks_debit_credits_via_relation_lock(self):
+        """The coupling Table 4 rests on, at process level."""
+        engine, ctx = make_ctx(n_cpus=4, policy=IndexPolicy.NONE)
+        engine.spawn(join_transaction(ctx, 1, measured=True))
+
+        def late_dc():
+            # arrives while the join holds accounts S
+            from repro.sim.process import Delay
+
+            yield Delay(1000.0)
+            yield from debit_credit(ctx, 2, True)
+
+        engine.spawn(late_dc())
+        engine.run()
+        dc_response = ctx.response_dc.maximum
+        # blocked for nearly the whole scan, far above its own service
+        assert dc_response > ctx.config.join_scan_compute_us / 2
+
+
+class TestMixAndUtilization:
+    def test_transaction_mix_properties(self):
+        mix = TransactionMix()
+        assert mix.arrival_tps == 40.0
+        assert mix.join_fraction == 0.05
+        assert mix.mean_interarrival_us == 25_000.0
+
+    def test_cpu_utilization_reported_and_sane(self):
+        result = run_tp_experiment(
+            TPConfig(
+                policy=IndexPolicy.IN_MEMORY, duration_s=20.0, warmup_s=2.0
+            )
+        )
+        utilization = result.extra["cpu_utilization"]
+        # offered load: 38 tps x 18 ms + 2 tps x 110 ms over 6 CPUs ~ 15%
+        assert 0.05 < utilization < 0.40
+
+    def test_no_index_config_runs_hotter(self):
+        cool = run_tp_experiment(
+            TPConfig(policy=IndexPolicy.IN_MEMORY, duration_s=20.0, seed=3)
+        )
+        hot = run_tp_experiment(
+            TPConfig(policy=IndexPolicy.NONE, duration_s=20.0, seed=3)
+        )
+        assert (
+            hot.extra["cpu_utilization"] > cool.extra["cpu_utilization"]
+        )

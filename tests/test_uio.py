@@ -1,0 +1,178 @@
+"""The UIO block interface and the file server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_system
+from repro.core.uio import pages_for_bytes
+from repro.errors import UIOError
+
+
+@pytest.fixture
+def world(system):
+    kernel = system.kernel
+    seg = kernel.create_segment(
+        0, name="f", manager=system.default_manager, auto_grow=True
+    )
+    return system, seg
+
+
+class TestPagesForBytes:
+    def test_rounding(self):
+        assert pages_for_bytes(0, 4096) == 0
+        assert pages_for_bytes(1, 4096) == 1
+        assert pages_for_bytes(4096, 4096) == 1
+        assert pages_for_bytes(4097, 4096) == 2
+
+
+class TestFileServer:
+    def test_create_and_fetch_roundtrip(self, world):
+        system, seg = world
+        data = bytes(range(256)) * 32  # 8 KB
+        system.file_server.create_file(seg, data=data)
+        page0 = system.file_server.fetch_page(seg, 0)
+        page1 = system.file_server.fetch_page(seg, 1)
+        assert page0 + page1 == data
+
+    def test_fetch_past_eof_is_zero(self, world):
+        system, seg = world
+        system.file_server.create_file(seg, data=b"x" * 100)
+        assert system.file_server.fetch_page(seg, 5) == bytes(4096)
+
+    def test_double_registration_rejected(self, world):
+        system, seg = world
+        system.file_server.create_file(seg)
+        with pytest.raises(UIOError):
+            system.file_server.create_file(seg)
+
+    def test_non_file_rejected(self, world):
+        system, _ = world
+        other = system.kernel.create_segment(2)
+        with pytest.raises(UIOError):
+            system.file_server.file_for(other)
+        assert not system.file_server.is_file(other)
+
+    def test_store_page_extends_size(self, world):
+        system, seg = world
+        file = system.file_server.create_file(seg, data=b"x" * 4096)
+        system.file_server.store_page(seg, 3, b"y" * 4096)
+        assert file.size_bytes == 4 * 4096
+        assert system.file_server.fetch_page(seg, 3) == b"y" * 4096
+
+    def test_store_requires_full_page(self, world):
+        system, seg = world
+        system.file_server.create_file(seg)
+        with pytest.raises(UIOError):
+            system.file_server.store_page(seg, 0, b"short")
+
+    def test_fetch_charges_device_time(self, world):
+        system, seg = world
+        system.file_server.create_file(seg, data=b"x" * 4096)
+        before = system.kernel.meter.by_category.get("file_server", 0.0)
+        system.file_server.fetch_page(seg, 0)
+        assert system.kernel.meter.by_category["file_server"] > before
+
+
+class TestUIORead:
+    def test_read_faults_in_uncached_pages(self, world):
+        system, seg = world
+        data = b"abcd" * 2048  # 8 KB
+        system.file_server.create_file(seg, data=data)
+        assert seg.resident_pages == 0
+        got = system.uio.read(seg, 0, len(data))
+        assert got == data
+        assert seg.resident_pages == 2
+
+    def test_read_clamps_at_eof(self, world):
+        system, seg = world
+        system.file_server.create_file(seg, data=b"hello")
+        assert system.uio.read(seg, 0, 100) == b"hello"
+        assert system.uio.read(seg, 3, 100) == b"lo"
+        assert system.uio.read(seg, 5, 10) == b""
+
+    def test_cached_4kb_read_costs_222us(self, world):
+        system, seg = world
+        system.file_server.create_file(seg, data=b"x" * 4096)
+        system.uio.read(seg, 0, 4096)  # warm
+        snap = system.kernel.meter.snapshot()
+        system.uio.read(seg, 0, 4096)
+        assert sum(system.kernel.meter.delta_since(snap).values()) == 222.0
+
+    def test_unaligned_read_spans_pages(self, world):
+        system, seg = world
+        data = bytes(range(256)) * 64  # 16 KB
+        system.file_server.create_file(seg, data=data)
+        got = system.uio.read(seg, 4000, 1000)
+        assert got == data[4000:5000]
+
+    def test_negative_range_rejected(self, world):
+        system, seg = world
+        system.file_server.create_file(seg)
+        with pytest.raises(UIOError):
+            system.uio.read(seg, -1, 10)
+        with pytest.raises(UIOError):
+            system.uio.read(seg, 0, -10)
+
+
+class TestUIOWrite:
+    def test_write_then_read_roundtrip(self, world):
+        system, seg = world
+        system.file_server.create_file(seg)
+        payload = b"The quick brown fox" * 300  # ~5.7 KB
+        system.uio.write(seg, 0, payload)
+        assert system.uio.read(seg, 0, len(payload)) == payload
+
+    def test_cached_4kb_write_costs_203us(self, world):
+        system, seg = world
+        system.file_server.create_file(seg, data=b"x" * 4096)
+        system.uio.read(seg, 0, 4096)  # warm
+        snap = system.kernel.meter.snapshot()
+        system.uio.write(seg, 0, b"y" * 4096)
+        assert sum(system.kernel.meter.delta_since(snap).values()) == 203.0
+
+    def test_append_grows_file_and_segment(self, world):
+        system, seg = world
+        file = system.file_server.create_file(seg)
+        system.uio.write(seg, 0, b"a" * 4096)
+        system.uio.write(seg, 4096, b"b" * 4096)
+        assert file.size_bytes == 8192
+        assert seg.n_pages >= 2
+
+    def test_append_uses_16kb_units(self, world):
+        """The default manager allocates appends in 16 KB units (S3.2)."""
+        system, seg = world
+        system.file_server.create_file(seg)
+        calls_before = system.default_manager.append_allocations
+        for off in range(0, 16 * 4096, 4096):
+            system.uio.write(seg, off, b"z" * 4096)
+        # 16 pages appended in 4 allocations of 4 pages
+        assert system.default_manager.append_allocations - calls_before == 4
+
+    def test_write_marks_dirty(self, world):
+        system, seg = world
+        system.file_server.create_file(seg)
+        system.uio.write(seg, 0, b"dirty")
+        from repro.core.flags import PageFlags
+
+        assert PageFlags.DIRTY & PageFlags(seg.pages[0].flags)
+
+    def test_overwrite_of_uncached_page_fetches_it_first(self, world):
+        system, seg = world
+        data = b"12345678" * 512  # one page
+        system.file_server.create_file(seg, data=data)
+        system.uio.write(seg, 100, b"XX")
+        expected = data[:100] + b"XX" + data[102:]
+        assert system.uio.read(seg, 0, 4096) == expected
+
+    def test_empty_write_is_noop(self, world):
+        system, seg = world
+        file = system.file_server.create_file(seg)
+        assert system.uio.write(seg, 0, b"") == 0
+        assert file.size_bytes == 0
+
+    def test_negative_offset_rejected(self, world):
+        system, seg = world
+        system.file_server.create_file(seg)
+        with pytest.raises(UIOError):
+            system.uio.write(seg, -5, b"x")

@@ -1,0 +1,141 @@
+"""The Unix retrofit of external page-cache management (S2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.unix_retrofit import UnixRetrofitVM, retrofit_fault_cost
+from repro.errors import SegmentError, UnresolvedFaultError
+from repro.hw.phys_mem import PhysicalMemory
+
+
+@pytest.fixture
+def vm(memory):
+    return UnixRetrofitVM(memory)
+
+
+def simple_manager(contents=b"managed page"):
+    def handler(vm, space, file_name, file_page):
+        vm.ioctl_allocate_page(file_name, file_page, contents)
+
+    return handler
+
+
+def make_managed_mapping(vm, handler=None, n_pages=4):
+    vm.create_file("db.dat", data=b"x" * (n_pages * 4096))
+    vm.designate_pagecache_file("db.dat")
+    vm.set_file_manager("db.dat", handler or simple_manager())
+    space = vm.create_space(16)
+    vm.map_pagecache_file(space, "db.dat", 0, n_pages)
+    return space
+
+
+class TestDesignation:
+    def test_pagecache_requires_existing_file(self, vm):
+        with pytest.raises(SegmentError):
+            vm.designate_pagecache_file("ghost")
+
+    def test_manager_requires_designation(self, vm):
+        vm.create_file("f")
+        with pytest.raises(SegmentError):
+            vm.set_file_manager("f", simple_manager())
+
+    def test_mapping_requires_designation(self, vm):
+        vm.create_file("f", data=b"x" * 4096)
+        space = vm.create_space(8)
+        with pytest.raises(SegmentError):
+            vm.map_pagecache_file(space, "f", 0, 1)
+
+
+class TestRetrofitFaults:
+    def test_fault_reaches_the_user_level_manager(self, vm):
+        seen = []
+
+        def handler(vm_, space_, name, page):
+            seen.append((name, page))
+            vm_.ioctl_allocate_page(name, page, b"hello from user level")
+
+        space = make_managed_mapping(vm, handler)
+        frame = vm.reference(space, 0)
+        assert seen == [("db.dat", 0)]
+        assert frame.read(0, 21) == b"hello from user level"
+        assert vm.retrofit_faults == 1
+
+    def test_repeat_access_does_not_refault(self, vm):
+        space = make_managed_mapping(vm)
+        vm.reference(space, 0)
+        vm.reference(space, 0)
+        assert vm.retrofit_faults == 1
+
+    def test_manager_failure_detected(self, vm):
+        space = make_managed_mapping(vm, handler=lambda *a: None)
+        with pytest.raises(UnresolvedFaultError):
+            vm.reference(space, 0)
+
+    def test_unmanaged_file_fault_fails(self, vm):
+        vm.create_file("f", data=b"x" * 4096)
+        vm.designate_pagecache_file("f")
+        space = vm.create_space(8)
+        vm.map_pagecache_file(space, "f", 0, 1)
+        with pytest.raises(UnresolvedFaultError):
+            vm.reference(space, 0)
+
+    def test_non_mapped_pages_use_the_normal_path(self, vm):
+        space = make_managed_mapping(vm, n_pages=2)
+        faults = vm.stats.faults
+        vm.reference(space, 8 * 4096)  # outside the mapping
+        assert vm.stats.faults == faults + 1
+        assert vm.retrofit_faults == 0
+
+
+class TestRetrofitCost:
+    def test_fault_cost_between_vpp_paths(self, vm):
+        """The retrofit capability costs more than a V++ upcall (107) but
+        avoids zero-fill; the modeled path sits between the V++ extremes."""
+        space = make_managed_mapping(vm)
+        before = vm.meter.total_us
+        vm.reference(space, 0)
+        measured = vm.meter.total_us - before
+        assert measured == retrofit_fault_cost(vm)
+        assert 107.0 < measured < 379.0
+
+    def test_no_zero_fill_on_manager_pages(self, vm):
+        space = make_managed_mapping(vm)
+        zero_before = vm.stats.zero_fills
+        vm.reference(space, 0)
+        assert vm.stats.zero_fills == zero_before
+
+
+class TestPagecacheProtection:
+    def test_pagecache_frames_survive_kernel_reclaim(self):
+        vm = UnixRetrofitVM(PhysicalMemory(16 * 4096))
+        space = make_managed_mapping(vm, n_pages=2)
+        vm.reference(space, 0)
+        vm.reference(space, 4096)
+        # hammer anonymous memory until the kernel must reclaim
+        anon = vm.create_space(32)
+        for page in range(24):
+            try:
+                vm.reference(anon, page * 4096, write=True)
+            except Exception:
+                break
+        assert vm.stats.reclaimed_pages > 0
+        # the externally managed pages were never victimized
+        assert space.pages.get(0) is not None
+        assert space.pages.get(1) is not None
+
+    def test_release_with_notice(self, vm):
+        space = make_managed_mapping(vm)
+        vm.reference(space, 0)
+        free_before = len(vm._free)
+        del space.pages[0]
+        vm.release_pagecache_page("db.dat", 0)
+        assert len(vm._free) == free_before + 1
+        with pytest.raises(SegmentError):
+            vm.release_pagecache_page("db.dat", 0)
+
+    def test_double_allocation_rejected(self, vm):
+        space = make_managed_mapping(vm)
+        vm.reference(space, 0)
+        with pytest.raises(SegmentError):
+            vm.ioctl_allocate_page("db.dat", 0, b"dup")

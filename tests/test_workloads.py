@@ -1,0 +1,131 @@
+"""The application models and runners (Tables 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.apps import (
+    diff_model,
+    latex_model,
+    standard_applications,
+    uncompress_model,
+)
+from repro.workloads.runner import run_on_ultrix, run_on_vpp
+from repro.workloads.traces import (
+    CloseFile,
+    OpenFile,
+    ReadFileSeq,
+    TouchRegion,
+    WriteFileSeq,
+)
+
+
+class TestAppModels:
+    def test_three_applications(self):
+        apps = standard_applications()
+        assert [a.name for a in apps] == ["diff", "uncompress", "latex"]
+
+    def test_diff_trace_accounting(self):
+        """The model's arithmetic: touches + appends = migrates,
+        + opens/closes = manager calls (module docstring)."""
+        app = diff_model()
+        touches = sum(
+            e.n_pages for e in app.trace if isinstance(e, TouchRegion)
+        )
+        appends = sum(
+            -(-e.n_bytes // (16 * 1024))
+            for e in app.trace
+            if isinstance(e, WriteFileSeq)
+        )
+        opens_closes = sum(
+            isinstance(e, (OpenFile, CloseFile)) for e in app.trace
+        )
+        assert touches + appends == app.paper_migrate_calls
+        assert touches + appends + opens_closes == app.paper_manager_calls
+
+    def test_uncompress_trace_accounting(self):
+        app = uncompress_model()
+        touches = sum(
+            e.n_pages for e in app.trace if isinstance(e, TouchRegion)
+        )
+        assert touches == 67
+        assert app.paper_migrate_calls == 195
+
+    def test_input_files_cover_reads(self):
+        for app in standard_applications():
+            reads = {
+                e.name for e in app.trace if isinstance(e, ReadFileSeq)
+            }
+            assert reads <= set(app.input_files)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Run everything once; several tests read the results."""
+    out = {}
+    for app in standard_applications():
+        out[app.name] = (app, run_on_vpp(app), run_on_ultrix(app))
+    return out
+
+
+class TestTable3Counts:
+    def test_manager_calls_match_paper_exactly(self, runs):
+        for name, (app, vpp, _) in runs.items():
+            assert vpp.manager_calls == app.paper_manager_calls, name
+
+    def test_migrate_calls_match_paper_exactly(self, runs):
+        for name, (app, vpp, _) in runs.items():
+            assert vpp.migrate_calls == app.paper_migrate_calls, name
+
+    def test_overhead_close_to_paper(self, runs):
+        for name, (app, vpp, _) in runs.items():
+            assert vpp.manager_overhead_ms == pytest.approx(
+                app.paper_overhead_ms, rel=0.05
+            ), name
+
+    def test_overhead_fractions_match_quoted_percentages(self, runs):
+        """S3.2 quotes 1.9%, 0.63%, 0.35%."""
+        quoted = {"diff": 0.019, "uncompress": 0.0063, "latex": 0.0035}
+        for name, (_, vpp, _) in runs.items():
+            assert vpp.overhead_fraction == pytest.approx(
+                quoted[name], rel=0.1
+            ), name
+
+
+class TestTable2Elapsed:
+    def test_vpp_elapsed_within_1pct(self, runs):
+        for name, (app, vpp, _) in runs.items():
+            assert vpp.elapsed_s == pytest.approx(
+                app.paper_elapsed_vpp_s, rel=0.01
+            ), name
+
+    def test_ultrix_elapsed_within_1pct(self, runs):
+        for name, (app, _, ultrix) in runs.items():
+            assert ultrix.elapsed_s == pytest.approx(
+                app.paper_elapsed_ultrix_s, rel=0.01
+            ), name
+
+    def test_relative_ordering_matches_paper(self, runs):
+        """diff: V++ faster; uncompress and latex: Ultrix faster."""
+        assert runs["diff"][1].elapsed_s < runs["diff"][2].elapsed_s
+        assert runs["uncompress"][1].elapsed_s > runs["uncompress"][2].elapsed_s
+        assert runs["latex"][1].elapsed_s > runs["latex"][2].elapsed_s
+
+
+class TestRunnerMechanics:
+    def test_vm_cost_is_separate_from_cpu(self, runs):
+        for _, (app, vpp, ultrix) in runs.items():
+            assert vpp.vm_us > 0 and vpp.cpu_us > 0
+            assert vpp.elapsed_s == (vpp.cpu_us + vpp.vm_us) / 1e6
+
+    def test_ultrix_faults_counted(self, runs):
+        app, _, ultrix = runs["diff"]
+        touches = sum(
+            e.n_pages for e in app.trace if isinstance(e, TouchRegion)
+        )
+        assert ultrix.faults == touches
+
+    def test_category_breakdown_exposed(self, runs):
+        _, vpp, ultrix = runs["diff"]
+        assert "migrate_pages" in vpp.by_category
+        assert "zero_fill" in ultrix.by_category
