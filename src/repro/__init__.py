@@ -23,13 +23,15 @@ Quick start::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.kernel import Kernel
 from repro.core.uio import UIO, FileServer
 from repro.hw.costs import DECSTATION_5000_200, CostMeter, MachineCosts
 from repro.hw.disk import Disk
 from repro.hw.phys_mem import PhysicalMemory
+from repro.obs import MetricsRegistry, NULL_TRACER, NullTracer, Tracer
+from repro.obs.trace import get_global_tracer
 
 __version__ = "1.0.0"
 
@@ -45,10 +47,16 @@ class System:
     uio: UIO
     spcm: "object"
     default_manager: "object"
+    tracer: "Tracer | NullTracer" = NULL_TRACER
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def meter(self) -> CostMeter:
         return self.kernel.meter
+
+    def metrics_snapshot(self) -> dict:
+        """One flat dict of every bound metric (see `repro.obs`)."""
+        return self.metrics.snapshot()
 
 
 def build_system(
@@ -56,26 +64,44 @@ def build_system(
     costs: MachineCosts = DECSTATION_5000_200,
     page_size: int | None = None,
     manager_frames: int = 1024,
+    tracer: "Tracer | NullTracer | None" = None,
+    metrics: MetricsRegistry | None = None,
 ) -> System:
     """Boot a complete V++ system the way the paper describes:
 
     kernel with all frames in the well-known boot segment, a System Page
     Cache Manager allocating from it, and the default segment manager (the
     extended UCDS) running as a separate server process.
+
+    ``tracer`` defaults to the process-global tracer (the ``--trace``
+    benchmark harness installs one; otherwise tracing is off).  The
+    returned system's :class:`~repro.obs.MetricsRegistry` is pre-bound to
+    every component's existing accounting (cost meter, kernel stats, TLB,
+    disk, SPCM, default manager).
     """
     from repro.managers.default_manager import DefaultSegmentManager
     from repro.spcm.spcm import SystemPageCacheManager
 
+    if tracer is None:
+        tracer = get_global_tracer()
     psize = page_size if page_size is not None else costs.page_size
     memory = PhysicalMemory(memory_mb * 1024 * 1024, page_size=psize)
-    kernel = Kernel(memory, costs=costs)
+    kernel = Kernel(memory, costs=costs, tracer=tracer)
     disk = Disk(costs, block_size=psize)
+    disk.tracer = tracer
     file_server = FileServer(kernel, disk)
     uio = UIO(kernel, file_server)
     spcm = SystemPageCacheManager(kernel)
     default_manager = DefaultSegmentManager(
         kernel, spcm, file_server, initial_frames=manager_frames
     )
+    registry = metrics if metrics is not None else MetricsRegistry()
+    registry.bind("kernel.cost_us", kernel.meter.snapshot)
+    registry.bind("kernel", kernel.stats.as_dict)
+    registry.bind("tlb", kernel.tlb.stats.as_dict)
+    registry.bind("disk", disk.stats.as_dict)
+    registry.bind("spcm", spcm.stats_dict)
+    registry.bind("default_manager", default_manager.stats_dict)
     return System(
         memory=memory,
         kernel=kernel,
@@ -84,4 +110,6 @@ def build_system(
         uio=uio,
         spcm=spcm,
         default_manager=default_manager,
+        tracer=tracer,
+        metrics=registry,
     )

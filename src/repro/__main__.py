@@ -1,9 +1,25 @@
 """``python -m repro`` runs the full evaluation report.
 
-Pass ``--quick`` to shorten the Table-4 simulations.
+Pass ``--quick`` to shorten the Table-4 simulations.  The ``trace``
+subcommand (``python -m repro trace figure2|table1``) instead runs one
+experiment under the tracer and prints its fault-path profile; see
+:mod:`repro.obs.cli`.
 """
 
-from repro.analysis.report import main
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch ``trace`` to :mod:`repro.obs.cli`, else run the report."""
+    args = sys.argv[1:] if argv is None else argv
+    if args and args[0] == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(args[1:])
+    from repro.analysis.report import main as report_main
+
+    return report_main(args) or 0
+
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -4,12 +4,23 @@ When a reference cannot be satisfied from the kernel's translation
 structures, the kernel packages a :class:`PageFault` and forwards it to the
 segment's manager (paper, Figure 2).  :class:`FaultTrace` records the
 numbered steps of that figure so the reproduction can regenerate it.
+
+The step record is the *shared* telemetry event type,
+:class:`repro.obs.records.TraceStep`: a Figure-2 trace and a structured
+:class:`~repro.obs.trace.Tracer` emit the same records, so the two views
+of a fault never drift apart (and :meth:`FaultTrace.from_events` rebuilds
+the figure from a tracer's event stream).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
+from typing import Iterable
+
+from repro.obs.records import TraceStep
+
+__all__ = ["FaultKind", "PageFault", "TraceStep", "FaultTrace"]
 
 
 class FaultKind(Enum):
@@ -41,16 +52,6 @@ class PageFault:
 
 
 @dataclass
-class TraceStep:
-    """One numbered step in the Figure-2 fault-handling sequence."""
-
-    step: int
-    actor: str       # "application" | "kernel" | "manager" | "file server"
-    action: str
-    cost_us: float = 0.0
-
-
-@dataclass
 class FaultTrace:
     """Collects the steps of one fault handling (Figure 2)."""
 
@@ -61,6 +62,14 @@ class FaultTrace:
         self.steps.append(
             TraceStep(len(self.steps) + 1, actor, action, cost_us)
         )
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceStep]) -> "FaultTrace":
+        """Rebuild a Figure-2 trace from tracer events (renumbered)."""
+        trace = cls()
+        for event in events:
+            trace.add(event.actor, event.action, event.cost_us)
+        return trace
 
     @property
     def total_cost_us(self) -> float:

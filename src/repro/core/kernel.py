@@ -39,6 +39,7 @@ from repro.hw.costs import DECSTATION_5000_200, CostMeter, MachineCosts
 from repro.hw.page_table import GlobalHashPageTable, Translation
 from repro.hw.phys_mem import PageFrame, PhysicalMemory
 from repro.hw.tlb import TLB
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 #: Maximum times a single reference retries after fault handling before the
 #: kernel declares the fault unresolvable.
@@ -75,6 +76,25 @@ class KernelStats:
     #: MigratePages invocations by calling manager name (Table 3, column 2)
     migrate_calls_by_manager: dict[str, int] = field(default_factory=dict)
 
+    def as_dict(self) -> dict[str, float]:
+        """Flat scalar view for :class:`repro.obs.MetricsRegistry`."""
+        out: dict[str, float] = {
+            "references": float(self.references),
+            "faults": float(self.faults),
+            "migrate_calls": float(self.migrate_calls),
+            "pages_migrated": float(self.pages_migrated),
+            "modify_flags_calls": float(self.modify_flags_calls),
+            "get_attributes_calls": float(self.get_attributes_calls),
+            "set_manager_calls": float(self.set_manager_calls),
+            "zero_fills": float(self.zero_fills),
+            "cow_copies": float(self.cow_copies),
+        }
+        for kind, n in self.faults_by_kind.items():
+            out[f"faults.{kind.lower()}"] = float(n)
+        for name, n in self.manager_calls.items():
+            out[f"manager_calls.{name}"] = float(n)
+        return out
+
     def note_manager_call(self, manager_name: str) -> None:
         """Count one request forwarded to ``manager_name``."""
         self.manager_calls[manager_name] = (
@@ -99,6 +119,7 @@ class Kernel:
         meter: CostMeter | None = None,
         tlb: TLB | None = None,
         page_table: GlobalHashPageTable | None = None,
+        tracer: Tracer | NullTracer = NULL_TRACER,
     ) -> None:
         self.memory = memory
         self.costs = costs
@@ -110,6 +131,12 @@ class Kernel:
         self.stats = KernelStats()
         #: when set, fault handling appends Figure-2 style steps here
         self.trace: FaultTrace | None = None
+        #: structured span/event collector (NULL_TRACER when disabled);
+        #: its clock follows this kernel's cost meter
+        self.tracer = tracer
+        if tracer.enabled and getattr(tracer, "clock", None) is None:
+            tracer.clock = lambda: self.meter.total_us  # type: ignore[union-attr]
+        self.tlb.tracer = tracer
         self._segments: dict[int, Segment] = {}
         self._next_seg_id = 0
         # pfn -> {(space_id, vpn)} reverse map for translation shootdown
@@ -227,10 +254,28 @@ class Kernel:
     # the four external page-cache management operations
     # ------------------------------------------------------------------
 
+    @property
+    def _tracing(self) -> bool:
+        """True when any trace surface wants Figure-2 step text."""
+        return self.trace is not None or self.tracer.enabled
+
+    def _step(self, actor: str, action: str, cost_us: float = 0.0) -> None:
+        """Dual-emit one Figure-2 step to the FaultTrace and the tracer."""
+        if self.trace is not None:
+            self.trace.add(actor, action, cost_us)
+        if self.tracer.enabled:
+            self.tracer.event(actor, action, cost_us)
+
     def set_segment_manager(
         self, segment: Segment, manager: SegmentManager
     ) -> None:
         """``SetSegmentManager(seg, manager)``."""
+        if self.tracer.enabled:
+            self.tracer.event(
+                "kernel",
+                f"SetSegmentManager: {segment.name} -> {manager.name}",
+                self.costs.vpp_set_manager_call,
+            )
         self.meter.charge("set_manager", self.costs.vpp_set_manager_call)
         self.stats.set_manager_calls += 1
         if segment.manager is not None:
@@ -265,6 +310,32 @@ class Kernel:
         migrates it to the bound segment.  The whole page range must lie
         within one binding (or none).
         """
+        if not self.tracer.enabled:
+            return self._migrate_pages(
+                src, dst, src_page, dst_page, n_pages, set_flags, clear_flags
+            )
+        with self.tracer.span(
+            "kernel",
+            "MigratePages",
+            src=src.name,
+            dst=dst.name,
+            dst_page=dst_page,
+            n_pages=n_pages,
+        ):
+            return self._migrate_pages(
+                src, dst, src_page, dst_page, n_pages, set_flags, clear_flags
+            )
+
+    def _migrate_pages(
+        self,
+        src: Segment,
+        dst: Segment,
+        src_page: int,
+        dst_page: int,
+        n_pages: int,
+        set_flags: PageFlags,
+        clear_flags: PageFlags,
+    ) -> list[PageFrame]:
         src, src_page = self._through_bindings(src, src_page, n_pages)
         dst, dst_page = self._through_bindings(
             dst, dst_page, n_pages, allow_grow=True
@@ -333,8 +404,8 @@ class Kernel:
             frame.page_index = dst_page + i
             moved.append(frame)
         self.stats.pages_migrated += n_pages
-        if self.trace is not None:
-            self.trace.add(
+        if self._tracing:
+            self._step(
                 "kernel",
                 f"MigratePages: {n_pages} frame(s) {src.name} -> {dst.name}"
                 f" page {dst_page}",
@@ -357,6 +428,13 @@ class Kernel:
         the kernel --- this is how a manager arranges to see references
         (the clock algorithm) or writes.
         """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "kernel",
+                f"ModifyPageFlags: {n_pages} page(s) of {segment.name} "
+                f"at {page} (+{set_flags!r} -{clear_flags!r})",
+                self.costs.vpp_modify_flags_call,
+            )
         self.meter.charge("modify_flags", self.costs.vpp_modify_flags_call)
         self.stats.modify_flags_calls += 1
         unsupported = int(set_flags | clear_flags) & ~int(MANAGER_SETTABLE)
@@ -390,6 +468,13 @@ class Kernel:
         Exposing the physical address is deliberate --- it is what lets an
         application implement page coloring and physical placement (S1).
         """
+        if self.tracer.enabled:
+            self.tracer.event(
+                "kernel",
+                f"GetPageAttributes: {n_pages} page(s) of {segment.name} "
+                f"at {page}",
+                self.costs.vpp_get_attributes_call,
+            )
         self.meter.charge("get_attributes", self.costs.vpp_get_attributes_call)
         self.stats.get_attributes_calls += 1
         segment.check_page_range(page, n_pages)
@@ -452,10 +537,24 @@ class Kernel:
 
     def _slow_reference(self, space: Segment, vpn: int, write: bool) -> PageFrame:
         """Full segment walk with fault dispatch and retry."""
+        if not self.tracer.enabled:
+            return self._handle_slow_reference(space, vpn, write)
+        with self.tracer.span(
+            "application",
+            "page_fault",
+            space=space.name,
+            vpn=vpn,
+            write=write,
+        ):
+            return self._handle_slow_reference(space, vpn, write)
+
+    def _handle_slow_reference(
+        self, space: Segment, vpn: int, write: bool
+    ) -> PageFrame:
         self.meter.charge("trap", self.costs.trap_entry_exit)
-        if self.trace is not None:
+        if self._tracing:
             access = "write" if write else "read"
-            self.trace.add(
+            self._step(
                 "application",
                 f"{access} of page {vpn} traps to kernel",
                 self.costs.trap_entry_exit,
@@ -567,6 +666,21 @@ class Kernel:
                 f"segment {segment.name} has no manager for "
                 f"{fault.describe()}"
             )
+        if not self.tracer.enabled:
+            return self._dispatch_fault(segment, manager, fault)
+        with self.tracer.span(
+            "kernel",
+            "dispatch_fault",
+            kind=fault.kind.name,
+            segment=segment.name,
+            page=fault.page,
+            manager=manager.name,
+        ):
+            return self._dispatch_fault(segment, manager, fault)
+
+    def _dispatch_fault(
+        self, segment: Segment, manager: SegmentManager, fault: PageFault
+    ) -> None:
         self.meter.charge("fault_dispatch", self.costs.vpp_fault_dispatch)
         self.stats.faults += 1
         kind = fault.kind.name
@@ -574,8 +688,8 @@ class Kernel:
             self.stats.faults_by_kind.get(kind, 0) + 1
         )
         self.stats.note_manager_call(manager.name)
-        if self.trace is not None:
-            self.trace.add(
+        if self._tracing:
+            self._step(
                 "kernel",
                 f"forward {fault.kind.name} fault (segment "
                 f"{segment.name}, page {fault.page}) to manager "
@@ -590,7 +704,10 @@ class Kernel:
         else:
             self.meter.charge("fault_upcall", self.costs.vpp_upcall)
         with self.attribute(manager.name):
-            manager.handle_fault(fault)
+            with self.tracer.span(
+                "manager", "handle_fault", manager=manager.name
+            ):
+                manager.handle_fault(fault)
         if manager.invocation is InvocationMode.SEPARATE_PROCESS:
             self.meter.charge(
                 "fault_ipc",
@@ -599,8 +716,8 @@ class Kernel:
             self.meter.charge("fault_resume", self.costs.vpp_kernel_resume)
         else:
             self.meter.charge("fault_resume", self.costs.vpp_resume_direct)
-        if self.trace is not None:
-            self.trace.add(
+        if self._tracing:
+            self._step(
                 "manager",
                 "reply to faulting process; application resumes",
                 self.costs.vpp_resume_direct

@@ -102,8 +102,18 @@ class FileServer:
         file = self.file_for(segment)
         if page >= file.initialized_pages:
             return bytes(segment.page_size)
-        if self.kernel.trace is not None:
-            self.kernel.trace.add(
+        if not self.kernel.tracer.enabled:
+            return self._fetch_page(file, segment, page)
+        with self.kernel.tracer.span(
+            "file_server", "fetch_page", segment=segment.name, page=page
+        ):
+            return self._fetch_page(file, segment, page)
+
+    def _fetch_page(
+        self, file: CachedFile, segment: Segment, page: int
+    ) -> bytes:
+        if self.kernel._tracing:
+            self.kernel._step(
                 "manager",
                 f"request data for page {page} of {segment.name} "
                 "from the file server",
@@ -113,8 +123,8 @@ class FileServer:
             file.start_block + page * blocks_per_page, blocks_per_page
         )
         self.kernel.meter.charge("file_server", service_us + self.network_rtt_us)
-        if self.kernel.trace is not None:
-            self.kernel.trace.add(
+        if self.kernel._tracing:
+            self.kernel._step(
                 "file server",
                 "reply with page data",
                 service_us + self.network_rtt_us,
@@ -126,6 +136,16 @@ class FileServer:
         file = self.file_for(segment)
         if len(data) != segment.page_size:
             raise UIOError("store_page requires exactly one page of data")
+        if not self.kernel.tracer.enabled:
+            return self._store_page(file, segment, page, data)
+        with self.kernel.tracer.span(
+            "file_server", "store_page", segment=segment.name, page=page
+        ):
+            return self._store_page(file, segment, page, data)
+
+    def _store_page(
+        self, file: CachedFile, segment: Segment, page: int, data: bytes
+    ) -> None:
         blocks_per_page = segment.page_size // self.disk.block_size
         self.disk.write_range(
             file.start_block + page * blocks_per_page, data
@@ -156,6 +176,12 @@ class UIO:
         if offset < 0 or n_bytes < 0:
             raise UIOError("negative read range")
         n_bytes = min(n_bytes, max(0, file.size_bytes - offset))
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "kernel",
+                f"UIO read: {n_bytes} bytes at {offset} of {segment.name}",
+                self.kernel.costs.uio_call,
+            )
         self.kernel.meter.charge("uio_read", self.kernel.costs.uio_call)
         if n_bytes == 0:
             return b""
@@ -194,6 +220,13 @@ class UIO:
         page_size = segment.page_size
         end = offset + len(data)
         segment.ensure_size(pages_for_bytes(end, page_size))
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "kernel",
+                f"UIO write: {len(data)} bytes at {offset} of {segment.name}",
+                self.kernel.costs.uio_call
+                - self.kernel.costs.vpp_write_fastpath_saving,
+            )
         self.kernel.meter.charge(
             "uio_write",
             self.kernel.costs.uio_call - self.kernel.costs.vpp_write_fastpath_saving,

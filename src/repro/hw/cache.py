@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.trace import NULL_TRACER
+
 
 @dataclass
 class CacheStats:
@@ -24,6 +26,16 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     conflict_evictions: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat values for a metrics-registry provider."""
+        return {
+            "accesses": float(self.accesses),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "conflict_evictions": float(self.conflict_evictions),
+            "miss_rate": self.miss_rate,
+        }
 
     @property
     def miss_rate(self) -> float:
@@ -61,6 +73,9 @@ class PhysicallyIndexedCache:
         # per cache index, the tag (full physical line number) resident there
         self._lines: list[int | None] = [None] * self.n_lines
         self.stats = CacheStats()
+        #: line-grain accesses are far too hot to trace; page-grain sweeps
+        #: and flushes are reported as events when a tracer is attached
+        self.tracer = NULL_TRACER
 
     def color_of(self, phys_addr: int) -> int:
         """The page color of the page containing ``phys_addr``."""
@@ -91,8 +106,16 @@ class PhysicallyIndexedCache:
         for offset in range(0, self.page_size, step):
             if not self.access(phys_page_addr + offset):
                 misses += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cache",
+                f"sweep page at {phys_page_addr:#x} "
+                f"(color {self.color_of(phys_page_addr)}): {misses} miss(es)",
+            )
         return misses
 
     def flush(self) -> None:
         """Invalidate every line."""
         self._lines = [None] * self.n_lines
+        if self.tracer.enabled:
+            self.tracer.event("cache", "flush: all lines invalidated")

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.errors import DiskError
 from repro.hw.costs import MachineCosts
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
@@ -22,6 +23,16 @@ class DiskStats:
     bytes_read: int = 0
     bytes_written: int = 0
     busy_us: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat values for a metrics-registry provider."""
+        return {
+            "reads": float(self.reads),
+            "writes": float(self.writes),
+            "bytes_read": float(self.bytes_read),
+            "bytes_written": float(self.bytes_written),
+            "busy_us": self.busy_us,
+        }
 
 
 class Disk:
@@ -40,10 +51,18 @@ class Disk:
         self.capacity_blocks = capacity_blocks
         self._blocks: dict[int, bytes] = {}
         self.stats = DiskStats()
+        #: set by ``build_system``; transfers are reported as trace events
+        self.tracer = NULL_TRACER
 
     def _check_block(self, block_no: int) -> None:
         if not 0 <= block_no < self.capacity_blocks:
             raise DiskError(f"block {block_no} out of range")
+
+    def _note_io(self, op: str, block_no: int, n_bytes: int, us: float) -> None:
+        if self.tracer.enabled:
+            self.tracer.event(
+                "disk", f"{op}: {n_bytes} bytes at block {block_no}", us
+            )
 
     def read_block(self, block_no: int) -> tuple[bytes, float]:
         """Read one block; returns ``(data, service_time_us)``."""
@@ -53,6 +72,7 @@ class Disk:
         self.stats.reads += 1
         self.stats.bytes_read += self.block_size
         self.stats.busy_us += service_us
+        self._note_io("read", block_no, self.block_size, service_us)
         return data, service_us
 
     def write_block(self, block_no: int, data: bytes) -> float:
@@ -67,6 +87,7 @@ class Disk:
         self.stats.writes += 1
         self.stats.bytes_written += self.block_size
         self.stats.busy_us += service_us
+        self._note_io("write", block_no, self.block_size, service_us)
         return service_us
 
     def read_range(self, block_no: int, n_blocks: int) -> tuple[bytes, float]:
@@ -88,6 +109,7 @@ class Disk:
         self.stats.reads += 1
         self.stats.bytes_read += n_bytes
         self.stats.busy_us += service_us
+        self._note_io("read", block_no, n_bytes, service_us)
         return b"".join(chunks), service_us
 
     def write_range(self, block_no: int, data: bytes) -> float:
@@ -108,4 +130,5 @@ class Disk:
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
         self.stats.busy_us += service_us
+        self._note_io("write", block_no, len(data), service_us)
         return service_us

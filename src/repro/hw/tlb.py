@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs.trace import NULL_TRACER
+
 
 @dataclass
 class TLBStats:
@@ -27,6 +29,16 @@ class TLBStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """Flat values for a metrics-registry provider."""
+        return {
+            "lookups": float(self.lookups),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "flushes": float(self.flushes),
+        }
+
 
 class TLB:
     """A fully-associative, LRU-replacement translation lookaside buffer."""
@@ -38,6 +50,9 @@ class TLB:
         # (space_id, vpn) -> payload; ordered oldest-first for LRU.
         self._entries: OrderedDict[tuple[int, int], object] = OrderedDict()
         self.stats = TLBStats()
+        #: set by the owning kernel; misses are reported as trace events
+        #: (the hit path is untouched, so disabled tracing costs nothing)
+        self.tracer = NULL_TRACER
 
     def lookup(self, space_id: int, vpn: int) -> object | None:
         """Return the cached payload, refreshing LRU order, or ``None``."""
@@ -45,6 +60,10 @@ class TLB:
         key = (space_id, vpn)
         payload = self._entries.get(key)
         if payload is None:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "tlb", f"miss: space {space_id} vpn {vpn}"
+                )
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1

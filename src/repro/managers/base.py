@@ -128,6 +128,12 @@ class GenericSegmentManager(SegmentManager):
         self.kernel.meter.charge(
             "manager_alloc", self.kernel.costs.vpp_manager_alloc
         )
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "manager",
+                f"{self.name} allocates a frame from its free segment",
+                self.kernel.costs.vpp_manager_alloc,
+            )
         if not self._free_slots:
             self.request_frames(self.refill_batch)
         if not self._free_slots:
@@ -188,6 +194,17 @@ class GenericSegmentManager(SegmentManager):
         (a no-op unless the SPCM runs a market)."""
         return self.spcm.charge_io(self, n_bytes)
 
+    def stats_dict(self) -> dict[str, float]:
+        """Flat values for a metrics-registry provider."""
+        return {
+            "faults_handled": float(self.faults_handled),
+            "fast_reclaims": float(self.fast_reclaims),
+            "pages_reclaimed": float(self.pages_reclaimed),
+            "writebacks": float(self.writebacks),
+            "free_frames": float(self.free_frames),
+            "resident_pages": float(len(self._resident)),
+        }
+
     def invalidate_reclaim_cache(self) -> None:
         """Forget the migrate-back cache (reclaimed data no longer valid).
 
@@ -218,6 +235,12 @@ class GenericSegmentManager(SegmentManager):
         if stale_slot is not None and fault.kind is FaultKind.MISSING_PAGE:
             # The paper's fast path: the frame reclaimed from this page is
             # still in the free segment with its data; migrate it back.
+            if self.kernel.tracer.enabled:
+                self.kernel.tracer.event(
+                    "manager",
+                    f"fast reclaim: frame for page {fault.page} of "
+                    f"{segment.name} still cached in the free segment",
+                )
             self._stale_slot.pop(key)
             self._stale_origin.pop(stale_slot)
             self._free_slots.remove(stale_slot)
@@ -236,7 +259,14 @@ class GenericSegmentManager(SegmentManager):
         slot = self.allocate_slot()
         frame = self.free_segment.pages[slot]
         if fault.kind is FaultKind.MISSING_PAGE:
-            self.fill_page(segment, fault.page, frame)
+            if self.kernel.tracer.enabled:
+                with self.kernel.tracer.span(
+                    "manager", "fill_page", segment=segment.name,
+                    page=fault.page, pfn=frame.pfn,
+                ):
+                    self.fill_page(segment, fault.page, frame)
+            else:
+                self.fill_page(segment, fault.page, frame)
         # For COPY_ON_WRITE the kernel copies the source data during the
         # migrate; the manager only supplies the frame.
         self.kernel.migrate_pages(
@@ -250,8 +280,8 @@ class GenericSegmentManager(SegmentManager):
         )
         self._empty_slots.append(slot)
         self._note_resident(segment, fault.page)
-        if self.kernel.trace is not None:
-            self.kernel.trace.add(
+        if self.kernel._tracing:
+            self.kernel._step(
                 "manager",
                 f"migrate frame pfn={frame.pfn} into {segment.name} "
                 f"page {fault.page}",
@@ -318,13 +348,31 @@ class GenericSegmentManager(SegmentManager):
 
     def reclaim_one(self, segment: Segment, page: int) -> None:
         """Reclaim a specific resident page (writeback if dirty)."""
+        if not self.kernel.tracer.enabled:
+            return self._reclaim_one(segment, page)
+        with self.kernel.tracer.span(
+            "manager",
+            "reclaim_page",
+            manager=self.name,
+            segment=segment.name,
+            page=page,
+        ):
+            return self._reclaim_one(segment, page)
+
+    def _reclaim_one(self, segment: Segment, page: int) -> None:
         frame = segment.pages.get(page)
         if frame is None:
             raise ManagerError(
                 f"page {page} of {segment.name} is not resident"
             )
         if PageFlags.DIRTY & PageFlags(frame.flags):
-            self.writeback(segment, page, frame)
+            if self.kernel.tracer.enabled:
+                with self.kernel.tracer.span(
+                    "manager", "writeback", segment=segment.name, page=page
+                ):
+                    self.writeback(segment, page, frame)
+            else:
+                self.writeback(segment, page, frame)
         slot = self._empty_slots.pop() if self._empty_slots else None
         if slot is None:
             slot = self.free_segment.n_pages

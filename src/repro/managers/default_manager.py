@@ -79,6 +79,18 @@ class DefaultSegmentManager(GenericSegmentManager):
 
     def _handle_append(self, segment: Segment, fault: PageFault) -> None:
         """Write-append: allocate a 16 KB unit in one MigratePages."""
+        if not self.kernel.tracer.enabled:
+            return self._do_append(segment, fault)
+        with self.kernel.tracer.span(
+            "manager",
+            "append_alloc",
+            segment=segment.name,
+            page=fault.page,
+            unit_pages=self.append_unit_pages,
+        ):
+            return self._do_append(segment, fault)
+
+    def _do_append(self, segment: Segment, fault: PageFault) -> None:
         self.faults_handled += 1
         self.append_allocations += 1
         unit = self.append_unit_pages
@@ -173,6 +185,10 @@ class DefaultSegmentManager(GenericSegmentManager):
     def file_opened(self, segment: Segment) -> None:
         """A file open forwarded to the manager (adds it to the cache)."""
         self.kernel.notify_manager_call(self)
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "manager", f"file open forwarded: {segment.name}"
+            )
         self.files_opened += 1
         if segment.manager is not self:
             self.manage(segment)
@@ -180,6 +196,10 @@ class DefaultSegmentManager(GenericSegmentManager):
     def file_closed(self, segment: Segment, writeback: bool = True) -> None:
         """A file close: write back dirty pages; frames stay cached."""
         self.kernel.notify_manager_call(self)
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "manager", f"file close forwarded: {segment.name}"
+            )
         self.files_closed += 1
         if not writeback or not self.file_server.is_file(segment):
             return
@@ -203,6 +223,19 @@ class DefaultSegmentManager(GenericSegmentManager):
         in some interval": segments whose sampled working set is far below
         their residency give up the difference first.
         """
+        if not self.kernel.tracer.enabled:
+            return self._rebalance(segments, frames_to_free)
+        with self.kernel.tracer.span(
+            "manager",
+            "rebalance",
+            n_segments=len(segments),
+            frames_to_free=frames_to_free,
+        ) as span:
+            freed = self._rebalance(segments, frames_to_free)
+            span.set_attr("n_freed", freed)
+            return freed
+
+    def _rebalance(self, segments: list[Segment], frames_to_free: int) -> int:
         freed = 0
         by_slack = sorted(
             segments,

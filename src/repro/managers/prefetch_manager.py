@@ -101,6 +101,12 @@ class PrefetchingSegmentManager(GenericSegmentManager):
         if page in segment.pages or key in self._inflight:
             return now_us
         completion = self.io.issue(now_us)
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "manager",
+                f"prefetch page {page} of {segment.name} issued at "
+                f"t={now_us:.0f}us, completes t={completion:.0f}us",
+            )
         self._bring_in(segment, page)
         self._inflight[key] = completion
         self.prefetches += 1
@@ -135,6 +141,12 @@ class PrefetchingSegmentManager(GenericSegmentManager):
             return 0.0
         # demand fetch: queue behind everything outstanding
         completion = self.io.issue(now_us)
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "manager",
+                f"demand fetch of page {page} of {segment.name}: stall "
+                f"{completion - now_us:.0f}us behind outstanding I/O",
+            )
         self._bring_in(segment, page)
         self._touch(segment.pages[page], write)
         self.demand_fetches += 1
@@ -162,9 +174,21 @@ class PrefetchingSegmentManager(GenericSegmentManager):
                 self.file_server.store_page(segment, page, frame.read())
             completion = self.io.issue(now_us)
             self.writebacks_issued += 1
+            if self.kernel.tracer.enabled:
+                self.kernel.tracer.event(
+                    "manager",
+                    f"writeback page {page} of {segment.name}, "
+                    f"completes t={completion:.0f}us",
+                )
         else:
             if dirty:
                 self.discards += 1
+                if self.kernel.tracer.enabled:
+                    self.kernel.tracer.event(
+                        "manager",
+                        f"discard dirty page {page} of {segment.name} "
+                        "(regenerable intermediate, I/O saved)",
+                    )
             completion = now_us
         self.reclaim_one(segment, page)
         return completion

@@ -1,0 +1,38 @@
+"""repro.obs: unified tracing, metrics, and fault-path profiling.
+
+The observability layer for the reproduction (see DESIGN.md):
+
+* :mod:`repro.obs.records` --- the shared span/event record types (also
+  used by the Figure-2 :class:`~repro.core.faults.FaultTrace`);
+* :mod:`repro.obs.trace` --- the :class:`Tracer` (nested spans over
+  simulated time) and the zero-overhead :data:`NULL_TRACER`;
+* :mod:`repro.obs.metrics` --- the :class:`MetricsRegistry` of counters,
+  gauges, and :class:`~repro.sim.stats.Tally`-backed histograms;
+* :mod:`repro.obs.export` --- JSONL dump/load, flamegraph-style trees,
+  and per-phase fault-latency breakdowns;
+* :mod:`repro.obs.cli` --- ``python -m repro trace <target>``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.records import SpanRecord, TraceStep
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_global_tracer,
+    set_global_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "TraceStep",
+    "Tracer",
+    "get_global_tracer",
+    "set_global_tracer",
+]

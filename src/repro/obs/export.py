@@ -1,0 +1,197 @@
+"""Exporters: JSONL traces, flamegraph-style trees, latency breakdowns.
+
+Three views of one :class:`~repro.obs.trace.Tracer`:
+
+* :func:`to_jsonl` / :func:`read_jsonl` --- a lossless line-per-record
+  dump (``span`` and ``event`` records, schema in :data:`JSONL_SCHEMA`,
+  checked by :func:`validate_record`);
+* :func:`render_flame` --- the span tree as indented text with per-span
+  simulated cost and share of the root, the fault-path "flamegraph";
+* :func:`fault_breakdown` / :func:`render_breakdown` --- self-cost
+  aggregated per ``(component, operation)`` phase, the decomposition a
+  perf PR compares against the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.obs.records import SpanRecord, TraceStep
+from repro.obs.trace import Tracer
+
+#: The JSONL record contract, by record ``type``.  Each value maps a field
+#: name to (python types, required) --- what :func:`validate_record` checks.
+JSONL_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
+    "span": {
+        "span_id": ((int,), True),
+        "parent_id": ((int, type(None)), True),
+        "component": ((str,), True),
+        "operation": ((str,), True),
+        "t_start_us": ((int, float), True),
+        "t_end_us": ((int, float, type(None)), True),
+        "attrs": ((dict,), False),
+    },
+    "event": {
+        "step": ((int,), True),
+        "actor": ((str,), True),
+        "action": ((str,), True),
+        "cost_us": ((int, float), True),
+        "span_id": ((int, type(None)), False),
+        "t_us": ((int, float, type(None)), False),
+    },
+}
+
+
+def validate_record(record: object) -> dict:
+    """Check one decoded JSONL record against :data:`JSONL_SCHEMA`.
+
+    Returns the record; raises ``ValueError`` describing the first
+    violation.  Unknown fields are rejected so the schema stays honest.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"record is not an object: {record!r}")
+    kind = record.get("type")
+    if kind not in JSONL_SCHEMA:
+        raise ValueError(f"unknown record type: {kind!r}")
+    schema = JSONL_SCHEMA[kind]
+    for name, (types, required) in schema.items():
+        if name not in record:
+            if required:
+                raise ValueError(f"{kind} record missing field {name!r}")
+            continue
+        if not isinstance(record[name], types):
+            raise ValueError(
+                f"{kind} field {name!r} has type "
+                f"{type(record[name]).__name__}, expected one of "
+                f"{[t.__name__ for t in types]}"
+            )
+    extra = set(record) - set(schema) - {"type"}
+    if extra:
+        raise ValueError(f"{kind} record has unknown fields: {sorted(extra)}")
+    return record
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """Serialize every span then every event, one JSON object per line."""
+    lines = [json.dumps(s.to_dict(), sort_keys=True) for s in tracer.spans]
+    lines += [json.dumps(e.to_dict(), sort_keys=True) for e in tracer.events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path) -> None:
+    """Write :func:`to_jsonl` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(tracer))
+
+
+def read_jsonl(
+    source: str | IO[str],
+) -> tuple[list[SpanRecord], list[TraceStep]]:
+    """Parse (and validate) a JSONL trace back into records.
+
+    ``source`` is a path or an open text stream.
+    """
+    if isinstance(source, str):
+        with open(source, encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = source.read()
+    spans: list[SpanRecord] = []
+    events: list[TraceStep] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = validate_record(json.loads(line))
+        except ValueError as exc:
+            raise ValueError(f"line {line_no}: {exc}") from None
+        if record["type"] == "span":
+            spans.append(SpanRecord.from_dict(record))
+        else:
+            events.append(TraceStep.from_dict(record))
+    return spans, events
+
+
+# ---------------------------------------------------------------------------
+# flamegraph-style tree
+# ---------------------------------------------------------------------------
+
+
+def render_flame(tracer: Tracer, root: SpanRecord | None = None) -> str:
+    """The span tree as indented text with costs and share-of-root.
+
+    Each line shows ``component/operation``, the span's total simulated
+    cost, its *self* cost (total minus children), and its share of the
+    root --- a text flamegraph of where fault latency goes.
+    """
+    roots = [root] if root is not None else tracer.roots()
+    lines: list[str] = []
+    for r in roots:
+        base = r.duration_us or 1.0
+        for span, depth in tracer.walk(r):
+            share = 100.0 * span.duration_us / base
+            lines.append(
+                f"{'  ' * depth}{span.component}/{span.operation}"
+                f"  total={span.duration_us:.1f}us"
+                f"  self={tracer.self_cost_us(span):.1f}us"
+                f"  ({share:.1f}%)"
+            )
+            for event in tracer.events_in(span):
+                cost = f"  ({event.cost_us:.0f} us)" if event.cost_us else ""
+                lines.append(
+                    f"{'  ' * (depth + 1)}* [{event.actor}] "
+                    f"{event.action}{cost}"
+                )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# per-phase latency breakdown
+# ---------------------------------------------------------------------------
+
+
+def fault_breakdown(
+    tracer: Tracer, roots: Iterable[SpanRecord] | None = None
+) -> dict[str, dict[str, float]]:
+    """Self-cost aggregated per ``component/operation`` phase.
+
+    Returns ``{phase: {"self_us": ..., "count": ...}}`` covering every
+    span under ``roots`` (default: all roots).  Because self-costs
+    partition each root's duration, the ``self_us`` values sum to the
+    total traced cost --- the property that lets a trace be checked
+    against the cost meter.
+    """
+    if roots is None:
+        roots = tracer.roots()
+    phases: dict[str, dict[str, float]] = {}
+    for root in roots:
+        for span, _depth in tracer.walk(root):
+            key = f"{span.component}/{span.operation}"
+            bucket = phases.setdefault(key, {"self_us": 0.0, "count": 0.0})
+            bucket["self_us"] += tracer.self_cost_us(span)
+            bucket["count"] += 1
+    return phases
+
+
+def render_breakdown(tracer: Tracer) -> str:
+    """The :func:`fault_breakdown` as an aligned text table."""
+    phases = fault_breakdown(tracer)
+    total = sum(b["self_us"] for b in phases.values()) or 1.0
+    width = max((len(k) for k in phases), default=5)
+    lines = [f"{'phase'.ljust(width)}  {'self(us)':>10}  {'count':>6}  share"]
+    for key, bucket in sorted(
+        phases.items(), key=lambda kv: -kv[1]["self_us"]
+    ):
+        lines.append(
+            f"{key.ljust(width)}  {bucket['self_us']:>10.1f}"
+            f"  {int(bucket['count']):>6}"
+            f"  {100.0 * bucket['self_us'] / total:5.1f}%"
+        )
+    lines.append(f"{'total'.ljust(width)}  {total:>10.1f}")
+    return "\n".join(lines)

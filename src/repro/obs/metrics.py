@@ -1,0 +1,145 @@
+"""A registry of named counters, gauges, and histograms.
+
+The registry *unifies* the accounting that already exists rather than
+duplicating it:
+
+* histograms **are** :class:`~repro.sim.stats.Tally` (the Table-4
+  response-time accumulator) --- one observation type, one percentile
+  implementation;
+* existing accumulators --- :class:`~repro.hw.costs.CostMeter` categories,
+  :class:`~repro.hw.tlb.TLBStats`, :class:`~repro.hw.disk.DiskStats`,
+  SPCM and manager counters --- are *bound* as providers, so a snapshot
+  reads their live values instead of mirroring every call site.
+
+``snapshot()`` returns one flat ``name -> value`` mapping (histograms
+appear as their :meth:`~repro.sim.stats.Tally.summary` dict), which is
+what the exporters and ``BENCH_table1.json`` serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.sim.stats import Tally
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        """Add ``amount`` (must be non-negative); returns the new value."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (free frames, account balance, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        """Record the current level; returns it."""
+        self.value = value
+        return value
+
+    def add(self, delta: float) -> float:
+        """Adjust the level by ``delta``; returns the new value."""
+        self.value += delta
+        return self.value
+
+
+class Histogram(Tally):
+    """A named distribution of observations.
+
+    This *is* the simulator's :class:`~repro.sim.stats.Tally`; the subclass
+    exists so registry users can spell the metric kind they mean.
+    """
+
+
+class MetricsRegistry:
+    """Get-or-create registry over counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # prefix -> callable returning {leaf_name: numeric_value}
+        self._providers: dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    # -- get-or-create ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        self._check_free(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        self._check_free(name, self._histograms)
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def _check_free(self, name: str, home: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not home and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as another kind"
+                )
+        if name in self._providers:
+            raise ValueError(f"metric {name!r} already bound to a provider")
+
+    # -- adopting existing accounting ------------------------------------
+
+    def bind(
+        self, prefix: str, provider: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Expose an existing accumulator under ``prefix``.
+
+        ``provider`` is polled at snapshot time and must return a flat
+        ``{leaf: value}`` mapping --- e.g. ``meter.snapshot`` for a
+        :class:`~repro.hw.costs.CostMeter`.
+        """
+        if prefix in self._providers:
+            raise ValueError(f"provider {prefix!r} already bound")
+        self._providers[prefix] = provider
+
+    def bind_tally(self, name: str, tally: Tally) -> None:
+        """Adopt an existing Tally as the histogram called ``name``."""
+        self._check_free(name, self._histograms)
+        if name in self._histograms:
+            raise ValueError(f"histogram {name!r} already registered")
+        # Tally and Histogram are interchangeable: same observation type.
+        self._histograms[name] = tally  # type: ignore[assignment]
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Every metric's current value as one flat dict.
+
+        Counters and gauges map to numbers, histograms to their
+        ``summary()`` dict, providers to ``prefix.leaf`` numbers.
+        """
+        out: dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.value
+        for name, histogram in sorted(self._histograms.items()):
+            out[name] = histogram.summary()
+        for prefix, provider in sorted(self._providers.items()):
+            for leaf, value in provider().items():
+                out[f"{prefix}.{leaf}"] = value
+        return out

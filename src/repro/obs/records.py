@@ -1,0 +1,120 @@
+"""Shared telemetry record types.
+
+One record vocabulary serves every trace surface in the reproduction:
+
+* :class:`TraceStep` is a *point event* --- an actor did something,
+  optionally carrying an attributed simulated cost.  It is the record the
+  Figure-2 :class:`~repro.core.faults.FaultTrace` has always collected and
+  the record a :class:`~repro.obs.trace.Tracer` emits for events, so the
+  two no longer maintain parallel structures.
+* :class:`SpanRecord` is an *interval* with a parent span, so nested
+  operations (fault -> dispatch -> manager -> file server) form a tree
+  whose per-node self-times decompose a fault's total simulated cost.
+
+Timestamps are **simulated** microseconds (monotonic within one tracer;
+usually the kernel :class:`~repro.hw.costs.CostMeter` total), never wall
+clock: the reproduction measures modeled cost, not host speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TraceStep:
+    """One point event: a numbered step an actor performed.
+
+    ``step`` numbers are assigned by the collector (FaultTrace numbers
+    Figure-2 steps from 1; a Tracer numbers events in emission order).
+    ``span_id`` and ``t_us`` are populated only when the step was emitted
+    through a :class:`~repro.obs.trace.Tracer`.
+    """
+
+    step: int
+    actor: str       # "application" | "kernel" | "manager" | "file server" | ...
+    action: str
+    cost_us: float = 0.0
+    span_id: int | None = None    # enclosing span, when emitted via a Tracer
+    t_us: float | None = None     # simulated time of emission
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable rendering (JSONL ``event`` record)."""
+        d: dict = {
+            "type": "event",
+            "step": self.step,
+            "actor": self.actor,
+            "action": self.action,
+            "cost_us": self.cost_us,
+        }
+        if self.span_id is not None:
+            d["span_id"] = self.span_id
+        if self.t_us is not None:
+            d["t_us"] = self.t_us
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceStep":
+        """Rebuild a step from :meth:`to_dict` output."""
+        return cls(
+            step=int(d["step"]),
+            actor=str(d["actor"]),
+            action=str(d["action"]),
+            cost_us=float(d.get("cost_us", 0.0)),
+            span_id=d.get("span_id"),
+            t_us=d.get("t_us"),
+        )
+
+
+@dataclass
+class SpanRecord:
+    """One interval in the span tree: a component performing an operation."""
+
+    span_id: int
+    parent_id: int | None
+    component: str    # "application" | "kernel" | "manager" | "spcm" | ...
+    operation: str    # "page_fault" | "MigratePages" | "fetch_page" | ...
+    t_start_us: float
+    t_end_us: float | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        """Simulated cost accumulated while the span was open."""
+        if self.t_end_us is None:
+            return 0.0
+        return self.t_end_us - self.t_start_us
+
+    @property
+    def closed(self) -> bool:
+        return self.t_end_us is not None
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable rendering (JSONL ``span`` record)."""
+        d: dict = {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "component": self.component,
+            "operation": self.operation,
+            "t_start_us": self.t_start_us,
+            "t_end_us": self.t_end_us,
+        }
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanRecord":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            span_id=int(d["span_id"]),
+            parent_id=d.get("parent_id"),
+            component=str(d["component"]),
+            operation=str(d["operation"]),
+            t_start_us=float(d["t_start_us"]),
+            t_end_us=(
+                float(d["t_end_us"]) if d.get("t_end_us") is not None else None
+            ),
+            attrs=dict(d.get("attrs", {})),
+        )

@@ -51,7 +51,19 @@ class Tally:
         return math.sqrt(sum((v - mu) ** 2 for v in self._values) / (n - 1))
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0 <= p <= 100), nearest-rank."""
+        """The ``p``-th percentile (0 <= p <= 100), nearest-rank.
+
+        Nearest-rank takes the smallest observation with at least ``p``
+        percent of the sample at or below it: ``rank = ceil(p/100 * n)``.
+        The definition leaves ``p = 0`` open (rank 0); we extend it to the
+        minimum, which is also what the formula's rank-1 clamp yields.
+        Note the rounding-up consequence on tiny samples: with ``n``
+        observations any ``0 < p <= 100/n`` lands on rank 1 (the minimum)
+        --- e.g. ``percentile(25)`` of a 2-sample Tally is its minimum,
+        not an interpolated value.  Table-4 style experiments record
+        hundreds of observations, where nearest-rank and interpolating
+        definitions agree to within one observation.
+        """
         if not self._values:
             return 0.0
         if not 0.0 <= p <= 100.0:
@@ -63,6 +75,24 @@ class Tally:
     def values(self) -> list[float]:
         """A copy of every observation, in arrival order."""
         return list(self._values)
+
+    def summary(self) -> dict[str, float]:
+        """The distribution digest the exporters serialize.
+
+        Keys: ``count``, ``total``, ``mean``, ``min``, ``max``,
+        ``stddev``, ``p50``, ``p90``, ``p99``.
+        """
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stddev": self.stddev,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
 
 
 @dataclass

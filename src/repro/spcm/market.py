@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import InsufficientFundsError
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,9 @@ class MemoryMarket:
         self.demand_outstanding: bool = False
         #: drams collected by the system (charges + taxes - income paid)
         self.system_sink: float = 0.0
+        #: set by the SPCM it prices for; account lifecycle, I/O charges
+        #: and broke transitions are reported as trace events
+        self.tracer = NULL_TRACER
 
     def open_account(
         self, name: str, income_per_second: float | None = None
@@ -100,6 +104,7 @@ class MemoryMarket:
             return
         charging = self.demand_outstanding or not self.config.free_when_uncontended
         for account in self.accounts.values():
+            was_solvent = account.balance >= 0
             income = account.income_per_second * dt
             account.balance += income
             account.total_income += income
@@ -119,6 +124,13 @@ class MemoryMarket:
                 account.total_tax += tax
                 self.system_sink += tax
             account.last_update = now
+            if self.tracer.enabled and was_solvent and account.balance < 0:
+                self.tracer.event(
+                    "market",
+                    f"account {account.name} broke at t={now:.1f}s "
+                    f"(balance {account.balance:.1f} drams, "
+                    f"holding {account.holding_mb:.1f} MB)",
+                )
         self.now = now
 
     # -- charges -----------------------------------------------------------
@@ -132,12 +144,22 @@ class MemoryMarket:
         account.balance -= charge
         account.total_io_charges += charge
         self.system_sink += charge
+        if self.tracer.enabled and charge > 0:
+            self.tracer.event(
+                "market",
+                f"I/O charge: {charge:.2f} drams to {name} "
+                f"for {mb_transferred:.2f} MB",
+            )
         return charge
 
     def set_holding(self, name: str, holding_mb: float) -> None:
         """Record an account's current memory holding (charged by advance)."""
         if holding_mb < 0:
             raise ValueError("negative holding")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "market", f"holding of {name} set to {holding_mb:.2f} MB"
+            )
         self.accounts[name].holding_mb = holding_mb
 
     # -- queries segment managers use to plan (S2.4) --------------------------

@@ -56,6 +56,8 @@ class SystemPageCacheManager:
         self.kernel = kernel
         self.policy = policy if policy is not None else ReservePolicy()
         self.market = market
+        if market is not None and not market.tracer.enabled:
+            market.tracer = kernel.tracer
         # free pool per page size: sorted boot-segment page indices
         self._free: dict[int, list[int]] = {}
         # every frame's home (boot segment, boot page index)
@@ -101,6 +103,15 @@ class SystemPageCacheManager:
         """Frames currently granted to ``account``."""
         return self.frames_held.get(account, 0)
 
+    def stats_dict(self) -> dict[str, float]:
+        """Flat values for a metrics-registry provider."""
+        return {
+            "granted_frames": float(self.granted_frames),
+            "deferred_requests": float(self.deferred_requests),
+            "refused_requests": float(self.refused_requests),
+            "available_frames": float(self.available_frames()),
+        }
+
     # -- allocation ------------------------------------------------------------
 
     def request_frames(
@@ -120,6 +131,24 @@ class SystemPageCacheManager:
         """
         if request.n_frames <= 0:
             raise SPCMError("must request at least one frame")
+        if not self.kernel.tracer.enabled:
+            return self._request_frames(manager, request, dst_segment)
+        with self.kernel.tracer.span(
+            "spcm",
+            "request_frames",
+            account=self.account_of(manager),
+            n_requested=request.n_frames,
+        ) as span:
+            granted = self._request_frames(manager, request, dst_segment)
+            span.set_attr("n_granted", len(granted))
+            return granted
+
+    def _request_frames(
+        self,
+        manager: SegmentManager,
+        request: FrameRequest,
+        dst_segment: Segment,
+    ) -> list[int]:
         size = request.page_size or self.kernel.memory.page_size
         boot = self.kernel.boot_segments.get(size)
         if boot is None:
@@ -138,12 +167,23 @@ class SystemPageCacheManager:
         )
         if verdict.decision is AllocationDecision.REFUSE:
             self.refused_requests += 1
+            if self.kernel.tracer.enabled:
+                self.kernel.tracer.event(
+                    "spcm",
+                    f"refuse {request.n_frames} frame(s) for {account}",
+                )
             raise AllocationRefusedError(
                 f"SPCM refused {request.n_frames} frames for {account!r}"
             )
         n_grant = min(verdict.n_frames, len(candidates))
         if verdict.decision is AllocationDecision.DEFER or n_grant == 0:
             self.deferred_requests += 1
+            if self.kernel.tracer.enabled:
+                self.kernel.tracer.event(
+                    "spcm",
+                    f"defer {request.n_frames} frame(s) for {account} "
+                    f"({len(candidates)} matching free)",
+                )
             if self.market is not None:
                 self.market.demand_outstanding = True
             return []
@@ -229,6 +269,10 @@ class SystemPageCacheManager:
             return
         account = self.account_of(manager)
         size = src_segment.page_size
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "spcm", f"reclaim {len(pages)} frame(s) from {account}"
+            )
         with self.kernel.attribute("SPCM"):
             for page in pages:
                 frame = src_segment.pages.get(page)
@@ -255,7 +299,17 @@ class SystemPageCacheManager:
 
     def force_reclaim(self, manager: SegmentManager, n_frames: int) -> int:
         """Demand frames back (the broke-account case); returns count freed."""
-        return manager.release_frames(n_frames)
+        if not self.kernel.tracer.enabled:
+            return manager.release_frames(n_frames)
+        with self.kernel.tracer.span(
+            "spcm",
+            "force_reclaim",
+            account=self.account_of(manager),
+            n_frames=n_frames,
+        ) as span:
+            freed = manager.release_frames(n_frames)
+            span.set_attr("n_freed", freed)
+            return freed
 
     def charge_io(self, manager: SegmentManager, n_bytes: int) -> float:
         """Bill a manager's backing-store traffic to its dram account.

@@ -1,0 +1,67 @@
+"""End-to-end smoke test: ``bench_figure2_fault_path.py --trace``.
+
+Runs the benchmark in a subprocess the way a user would, with the
+``--trace`` flag, then validates every emitted JSONL record against
+:data:`repro.obs.export.JSONL_SCHEMA`.  This is the tier-1 guard that
+keeps the benchmark tracing harness and the trace schema honest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import validate_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.obs_smoke
+def test_figure2_benchmark_trace_emits_valid_jsonl(tmp_path):
+    trace_dir = tmp_path / "traces"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_figure2_fault_path.py",
+            "--trace",
+            "--trace-dir",
+            str(trace_dir),
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    dumps = sorted(trace_dir.glob("*.jsonl"))
+    assert len(dumps) == 2, [p.name for p in dumps]  # one per test
+    for dump in dumps:
+        n_spans = n_events = 0
+        for line_no, line in enumerate(
+            dump.read_text().splitlines(), start=1
+        ):
+            record = json.loads(line)
+            validate_record(record)
+            if record["type"] == "span":
+                n_spans += 1
+                assert record["t_end_us"] is not None, (
+                    f"{dump.name}:{line_no}: unclosed span in dump"
+                )
+            else:
+                n_events += 1
+        # the figure-2 fault ran: spans and events both present
+        assert n_spans > 0 and n_events > 0, dump.name
