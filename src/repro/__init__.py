@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.chaos.injector import NULL_INJECTOR
 from repro.core.kernel import Kernel
 from repro.core.uio import UIO, FileServer
 from repro.hw.costs import DECSTATION_5000_200, CostMeter, MachineCosts
@@ -49,6 +50,8 @@ class System:
     default_manager: "object"
     tracer: "Tracer | NullTracer" = NULL_TRACER
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: the installed fault injector (the zero-overhead null one by default)
+    injector: "object" = NULL_INJECTOR
 
     @property
     def meter(self) -> CostMeter:
@@ -66,6 +69,7 @@ def build_system(
     manager_frames: int = 1024,
     tracer: "Tracer | NullTracer | None" = None,
     metrics: MetricsRegistry | None = None,
+    injector: "object | None" = None,
 ) -> System:
     """Boot a complete V++ system the way the paper describes:
 
@@ -95,6 +99,9 @@ def build_system(
     default_manager = DefaultSegmentManager(
         kernel, spcm, file_server, initial_frames=manager_frames
     )
+    # the default manager is the paper's safety net: faults of a failed
+    # application manager are failed over here (chaos degradation paths)
+    kernel.fallback_manager = default_manager
     registry = metrics if metrics is not None else MetricsRegistry()
     registry.bind("kernel.cost_us", kernel.meter.snapshot)
     registry.bind("kernel", kernel.stats.as_dict)
@@ -102,7 +109,8 @@ def build_system(
     registry.bind("disk", disk.stats.as_dict)
     registry.bind("spcm", spcm.stats_dict)
     registry.bind("default_manager", default_manager.stats_dict)
-    return System(
+    registry.bind("file_server", file_server.stats_dict)
+    system = System(
         memory=memory,
         kernel=kernel,
         disk=disk,
@@ -113,3 +121,6 @@ def build_system(
         tracer=tracer,
         metrics=registry,
     )
+    if injector is not None:
+        injector.install(system)
+    return system

@@ -2,20 +2,26 @@
 
 Pass ``--quick`` to shorten the Table-4 simulations.  The ``trace``
 subcommand (``python -m repro trace figure2|table1``) instead runs one
-experiment under the tracer and prints its fault-path profile; see
-:mod:`repro.obs.cli`.
+experiment under the tracer and prints its fault-path profile (see
+:mod:`repro.obs.cli`); the ``chaos`` subcommand (``python -m repro chaos
+<scenario>``) runs seeded fault-injection schedules with the system-wide
+invariant checker on (see :mod:`repro.chaos.cli`).
 """
 
 import sys
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch ``trace`` to :mod:`repro.obs.cli`, else run the report."""
+    """Dispatch ``trace``/``chaos`` to their CLIs, else run the report."""
     args = sys.argv[1:] if argv is None else argv
     if args and args[0] == "trace":
         from repro.obs.cli import main as trace_main
 
         return trace_main(args[1:])
+    if args and args[0] == "chaos":
+        from repro.chaos.cli import main as chaos_main
+
+        return chaos_main(args[1:])
     from repro.analysis.report import main as report_main
 
     return report_main(args) or 0

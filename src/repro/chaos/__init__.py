@@ -1,0 +1,56 @@
+"""repro.chaos: deterministic fault injection and invariant checking.
+
+The subsystem has four parts:
+
+* :mod:`repro.chaos.plan` --- declarative, frozen fault schedules
+  (:class:`ChaosPlan`): per-choke-point injection rates plus a seed.
+* :mod:`repro.chaos.injector` --- the :class:`Injector` that executes a
+  plan at the stack's choke points (disk transfers, frame ECC, manager
+  invocation and allocation, manager IPC), and the zero-overhead
+  :data:`NULL_INJECTOR` every component holds by default.
+* :mod:`repro.chaos.invariants` --- the :class:`InvariantChecker`
+  asserting the paper's global correctness claims (frame conservation,
+  SPCM/market accounting, translation coherence, binding sanity) after
+  every injected event.
+* :mod:`repro.chaos.harness` --- named scenarios pairing plans with real
+  workloads, run via :func:`run_schedule` or ``python -m repro chaos``.
+
+Faults the kernel and SPCM *survive* (see DESIGN.md, "Robustness
+model"): manager crash/hang/byzantine behavior fails the manager's
+segments over to the default manager; transient disk errors are retried
+with backoff; dropped IPC is redelivered; ECC failures retire the frame;
+only a fault no manager can resolve suspends (only) the faulting
+process.
+"""
+
+from repro.chaos.harness import (
+    ChaosResult,
+    SCENARIOS,
+    Scenario,
+    run_schedule,
+    run_seed_matrix,
+)
+from repro.chaos.injector import Injector, NULL_INJECTOR, NullInjector
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.plan import (
+    ChaosPlan,
+    InjectedFault,
+    IPCFailureMode,
+    ManagerFailureMode,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "ChaosResult",
+    "InjectedFault",
+    "Injector",
+    "InvariantChecker",
+    "IPCFailureMode",
+    "ManagerFailureMode",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "SCENARIOS",
+    "Scenario",
+    "run_schedule",
+    "run_seed_matrix",
+]

@@ -1,0 +1,85 @@
+"""``python -m repro chaos <scenario>``: run seeded fault schedules.
+
+Examples::
+
+    python -m repro chaos --list
+    python -m repro chaos figure2-crash
+    python -m repro chaos figure2-hang --seed 7 --schedules 20
+
+Each schedule boots a fresh system, injects the scenario's fault plan
+(reseeded per schedule), checks every global invariant after every
+injected event, and prints a one-line summary; the exit code is non-zero
+if any schedule violated an invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.harness import SCENARIOS, run_schedule
+from repro.errors import InvariantViolationError
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``chaos`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run deterministic fault-injection schedules.",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        choices=sorted(SCENARIOS),
+        help="which fault schedule to run",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (default 0)"
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=10,
+        help="number of seeded schedules to run (default 10)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.scenario is None:
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name.ljust(width)}  {SCENARIOS[name].description}")
+        return 0
+
+    failures = 0
+    for i in range(args.schedules):
+        seed = args.seed + i
+        try:
+            result = run_schedule(args.scenario, seed)
+        except InvariantViolationError as exc:
+            failures += 1
+            print(f"seed {seed:>4}: INVARIANT VIOLATION: {exc}")
+            continue
+        outcome = (
+            "completed"
+            if result.completed
+            else f"stopped ({result.error_type}: {result.error})"
+        )
+        print(
+            f"seed {seed:>4}: {outcome}; {result.n_injected} injected "
+            f"{dict(sorted(result.injected.items()))}, "
+            f"{result.failovers} failover(s), "
+            f"{result.fallback_resolutions} fallback resolution(s), "
+            f"{result.checks_run} invariant sweep(s)"
+        )
+    if failures:
+        print(f"{failures}/{args.schedules} schedule(s) violated invariants")
+        return 1
+    print(f"all {args.schedules} schedule(s) invariant-clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

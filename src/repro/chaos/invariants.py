@@ -1,0 +1,250 @@
+"""System-wide invariants, asserted after every injected event.
+
+The invariants are the correctness claims the paper's design rests on:
+
+* **Frame conservation** --- every physical frame is owned by exactly one
+  segment (the boot segment counts as "the free pool"), or has been
+  retired after an ECC failure.  ``MigratePages`` being the only
+  ownership-transfer mechanism is what makes this checkable at all.
+* **SPCM accounting** --- the SPCM free list names only genuinely free
+  boot-segment pages, and per-account holding counts are non-negative.
+* **Market conservation** --- drams are conserved: account balances plus
+  the system sink sum to zero, and each account's balance equals its
+  income minus its charges.
+* **Translation coherence** --- every cached TLB / page-table entry maps
+  to the frame the segment structures resolve to, and writable entries
+  imply write permission.
+* **Binding sanity** --- no segment's bound regions overlap, and no
+  binding targets a deleted segment.
+
+The checker raises :class:`~repro.errors.InvariantViolationError` listing
+every violation found, so a chaos run fails loudly at the first injected
+event that corrupts state rather than at end-of-run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.flags import PageFlags
+from repro.errors import InvariantViolationError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernel import Kernel
+
+
+class InvariantChecker:
+    """Checks global invariants over a kernel (and its SPCM/market)."""
+
+    def __init__(self, kernel: "Kernel", spcm=None, market=None) -> None:
+        self.kernel = kernel
+        self.spcm = spcm if spcm is not None else getattr(kernel, "spcm", None)
+        if market is not None:
+            self.market = market
+        else:
+            self.market = getattr(self.spcm, "market", None)
+        self.checks_run = 0
+        #: absolute dram-conservation tolerance (floating-point slack)
+        self.dram_tolerance = 1e-6
+
+    def __call__(self, _event=None) -> None:
+        """Observer-callback form: check after each injected event."""
+        self.check_all()
+
+    def check_all(self) -> None:
+        """Run every invariant; raise listing all violations found."""
+        self.checks_run += 1
+        violations: list[str] = []
+        self._check_frames(violations)
+        self._check_spcm(violations)
+        self._check_translations(violations)
+        self._check_bindings(violations)
+        self._check_market(violations)
+        if violations:
+            raise InvariantViolationError(
+                f"{len(violations)} invariant violation(s): "
+                + "; ".join(violations)
+            )
+
+    def violations(self) -> list[str]:
+        """Non-raising form: every violation message (empty when clean)."""
+        try:
+            self.check_all()
+        except InvariantViolationError as exc:
+            return [str(exc)]
+        return []
+
+    # -- frame conservation ------------------------------------------------
+
+    def _check_frames(self, violations: list[str]) -> None:
+        kernel = self.kernel
+        retired = getattr(kernel, "retired_frames", set())
+        census: dict[int, tuple[int, int]] = {}
+        for segment in kernel.segments():
+            for page, frame in segment.pages.items():
+                if frame.pfn in census:
+                    other_seg, other_page = census[frame.pfn]
+                    violations.append(
+                        f"frame pfn={frame.pfn} owned twice: segment "
+                        f"{other_seg} page {other_page} and segment "
+                        f"{segment.seg_id} page {page}"
+                    )
+                    continue
+                census[frame.pfn] = (segment.seg_id, page)
+                if frame.owner_segment_id != segment.seg_id:
+                    violations.append(
+                        f"frame pfn={frame.pfn} back-pointer names segment "
+                        f"{frame.owner_segment_id}, but segment "
+                        f"{segment.seg_id} holds it"
+                    )
+                if frame.page_index != page:
+                    violations.append(
+                        f"frame pfn={frame.pfn} back-pointer names page "
+                        f"{frame.page_index}, but it sits at page {page}"
+                    )
+                if frame.pfn in retired:
+                    violations.append(
+                        f"retired frame pfn={frame.pfn} still in service "
+                        f"in segment {segment.seg_id}"
+                    )
+        for frame in kernel.memory.frames():
+            if frame.pfn not in census and frame.pfn not in retired:
+                violations.append(
+                    f"frame pfn={frame.pfn} lost: owned by no segment and "
+                    "not retired"
+                )
+
+    # -- SPCM accounting ---------------------------------------------------
+
+    def _check_spcm(self, violations: list[str]) -> None:
+        spcm = self.spcm
+        if spcm is None:
+            return
+        for size, free_pages in spcm._free.items():
+            boot = self.kernel.boot_segments.get(size)
+            if boot is None:
+                violations.append(f"SPCM free list for unknown size {size}")
+                continue
+            seen: set[int] = set()
+            for page in free_pages:
+                if page in seen:
+                    violations.append(
+                        f"SPCM free list repeats boot page {page} "
+                        f"(size {size})"
+                    )
+                seen.add(page)
+                if page not in boot.pages:
+                    violations.append(
+                        f"SPCM free list names boot page {page} "
+                        f"(size {size}) which holds no frame"
+                    )
+        for account, held in spcm.frames_held.items():
+            if held < 0:
+                violations.append(
+                    f"SPCM holds negative frame count for {account}: {held}"
+                )
+
+    # -- translation coherence ---------------------------------------------
+
+    def _check_translations(self, violations: list[str]) -> None:
+        kernel = self.kernel
+        for (space_id, vpn), payload in kernel.tlb.entries():
+            if not (isinstance(payload, tuple) and len(payload) == 2):
+                continue
+            pfn, writable = payload
+            self._check_one_translation(
+                violations, "TLB", space_id, vpn, pfn, bool(writable)
+            )
+        for entry in kernel.page_table.entries():
+            writable = bool(PageFlags.WRITE & PageFlags(entry.prot))
+            self._check_one_translation(
+                violations,
+                "page table",
+                entry.space_id,
+                entry.vpn,
+                entry.pfn,
+                writable,
+            )
+
+    def _check_one_translation(
+        self,
+        violations: list[str],
+        where: str,
+        space_id: int,
+        vpn: int,
+        pfn: int,
+        writable: bool,
+    ) -> None:
+        space = self.kernel._segments.get(space_id)
+        if space is None:
+            violations.append(
+                f"{where} entry for deleted space {space_id} vpn {vpn}"
+            )
+            return
+        try:
+            res = space.resolve(vpn, for_write=False)
+        except ReproError as exc:
+            violations.append(
+                f"{where} entry space {space_id} vpn {vpn} no longer "
+                f"resolves: {exc}"
+            )
+            return
+        if res.frame is None or res.frame.pfn != pfn:
+            got = "nothing" if res.frame is None else f"pfn={res.frame.pfn}"
+            violations.append(
+                f"{where} entry space {space_id} vpn {vpn} caches "
+                f"pfn={pfn} but the segment structures resolve to {got}"
+            )
+            return
+        if writable and PageFlags.WRITE not in res.prot:
+            violations.append(
+                f"{where} entry space {space_id} vpn {vpn} is writable "
+                "but the page is not write-permitted"
+            )
+
+    # -- binding sanity ----------------------------------------------------
+
+    def _check_bindings(self, violations: list[str]) -> None:
+        for segment in self.kernel.segments():
+            ordered = sorted(segment.bindings, key=lambda b: b.start_page)
+            prev_end = None
+            prev_start = None
+            for binding in ordered:
+                if prev_end is not None and binding.start_page < prev_end:
+                    violations.append(
+                        f"segment {segment.seg_id} bound regions overlap: "
+                        f"[{prev_start}, {prev_end}) and "
+                        f"[{binding.start_page}, "
+                        f"{binding.start_page + binding.n_pages})"
+                    )
+                prev_start = binding.start_page
+                prev_end = binding.start_page + binding.n_pages
+                if binding.target.deleted:
+                    violations.append(
+                        f"segment {segment.seg_id} binds deleted segment "
+                        f"{binding.target.seg_id}"
+                    )
+
+    # -- market conservation -----------------------------------------------
+
+    def _check_market(self, violations: list[str]) -> None:
+        market = self.market
+        if market is None:
+            return
+        total = market.total_drams()
+        if abs(total) > self.dram_tolerance:
+            violations.append(
+                f"market does not conserve drams: total {total!r} != 0"
+            )
+        for name, account in market.accounts.items():
+            expected = (
+                account.total_income
+                - account.total_memory_charges
+                - account.total_io_charges
+                - account.total_tax
+            )
+            if abs(account.balance - expected) > self.dram_tolerance:
+                violations.append(
+                    f"account {name!r} balance {account.balance!r} != "
+                    f"income - charges - tax = {expected!r}"
+                )

@@ -24,11 +24,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.chaos.injector import NULL_INJECTOR
+from repro.chaos.plan import IPCFailureMode, ManagerFailureMode
 from repro.core.faults import FaultKind, FaultTrace, PageFault
 from repro.core.flags import MANAGER_SETTABLE, PageFlags
 from repro.core.manager_api import InvocationMode, SegmentManager
 from repro.core.segment import ResolvedPage, Segment
 from repro.errors import (
+    ManagerCrashError,
     MigrationError,
     NoManagerError,
     ProtectionError,
@@ -44,6 +47,15 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 #: Maximum times a single reference retries after fault handling before the
 #: kernel declares the fault unresolvable.
 MAX_FAULT_RETRIES = 8
+
+#: After this many fruitless manager deliveries on one reference, the kernel
+#: stops trusting the manager and fails the segment over to the fallback
+#: (must be < MAX_FAULT_RETRIES so the fallback still gets retries).
+FAILOVER_AFTER_ATTEMPTS = 4
+
+#: Dropped fault messages are redelivered this many times before the kernel
+#: declares the manager unreachable.
+IPC_MAX_REDELIVERIES = 3
 
 
 @dataclass(frozen=True)
@@ -71,6 +83,16 @@ class KernelStats:
     set_manager_calls: int = 0
     zero_fills: int = 0
     cow_copies: int = 0
+    # graceful-degradation counters (chaos runs; all zero in healthy runs;
+    # ``faults`` counts deliveries, so a failed-over fault counts twice)
+    manager_timeouts: int = 0
+    manager_crashes: int = 0
+    manager_failovers: int = 0
+    fallback_resolutions: int = 0
+    byzantine_replies: int = 0
+    ipc_drops: int = 0
+    ipc_duplicates: int = 0
+    ecc_retirements: int = 0
     #: manager invocations by manager name (Table 3, column 1)
     manager_calls: dict[str, int] = field(default_factory=dict)
     #: MigratePages invocations by calling manager name (Table 3, column 2)
@@ -88,6 +110,14 @@ class KernelStats:
             "set_manager_calls": float(self.set_manager_calls),
             "zero_fills": float(self.zero_fills),
             "cow_copies": float(self.cow_copies),
+            "manager_timeouts": float(self.manager_timeouts),
+            "manager_crashes": float(self.manager_crashes),
+            "manager_failovers": float(self.manager_failovers),
+            "fallback_resolutions": float(self.fallback_resolutions),
+            "byzantine_replies": float(self.byzantine_replies),
+            "ipc_drops": float(self.ipc_drops),
+            "ipc_duplicates": float(self.ipc_duplicates),
+            "ecc_retirements": float(self.ecc_retirements),
         }
         for kind, n in self.faults_by_kind.items():
             out[f"faults.{kind.lower()}"] = float(n)
@@ -137,6 +167,20 @@ class Kernel:
         if tracer.enabled and getattr(tracer, "clock", None) is None:
             tracer.clock = lambda: self.meter.total_us  # type: ignore[union-attr]
         self.tlb.tracer = tracer
+        #: fault injector (NULL_INJECTOR when chaos is disabled)
+        self.injector = NULL_INJECTOR
+        #: manager the kernel fails segments over to when their own manager
+        #: crashes, hangs, or keeps failing (``build_system`` points this at
+        #: the default manager; None disables failover)
+        self.fallback_manager: SegmentManager | None = None
+        #: the SPCM, once booted (lets the kernel trigger forcible reclaim
+        #: of a dead manager's frames and report ECC retirements)
+        self.spcm = None
+        #: pfns removed from service after an uncorrectable ECC error
+        self.retired_frames: set[int] = set()
+        # set while a failed-over fault is being retried, so the resolving
+        # reference can be attributed to the fallback manager
+        self._failover_pending = False
         self._segments: dict[int, Segment] = {}
         self._next_seg_id = 0
         # pfn -> {(space_id, vpn)} reverse map for translation shootdown
@@ -512,7 +556,25 @@ class Kernel:
         tracking uses the classic write-protect-until-first-store scheme,
         so managers reading DIRTY via ``GetPageAttributes`` see exact
         information.
+
+        When a fault injector is installed, the access may additionally
+        raise an ECC machine check: the kernel retires the bad frame and
+        re-runs the reference, which re-faults so the manager refills the
+        page into a healthy frame.
         """
+        frame = self._reference(space, vaddr, write)
+        if not self.memory.injector.enabled:
+            return frame
+        for _ in range(2):
+            if not self.memory.ecc_failure(frame):
+                break
+            self.retire_frame(frame)
+            frame = self._reference(space, vaddr, write)
+        return frame
+
+    def _reference(
+        self, space: Segment, vaddr: int, write: bool
+    ) -> PageFrame:
         self.stats.references += 1
         if vaddr < 0 or vaddr >= space.size_bytes:
             raise SegmentError(
@@ -564,12 +626,36 @@ class Kernel:
             fault = self._fault_from_resolution(space, vpn, write, res)
             if fault is None:
                 assert res.frame is not None
+                if self._failover_pending:
+                    self.stats.fallback_resolutions += 1
+                    self._failover_pending = False
                 return self._install_and_touch(
                     space, vpn, res, write, post_fault=attempt > 0
                 )
             if attempt == MAX_FAULT_RETRIES:
                 break
+            if attempt >= FAILOVER_AFTER_ATTEMPTS:
+                # The manager keeps replying without resolving the fault
+                # (the byzantine mode): stop trusting it.
+                target = self.segment(fault.segment_id)
+                manager = target.manager
+                if (
+                    manager is not None
+                    and self.fallback_manager is not None
+                    and manager is not self.fallback_manager
+                ):
+                    if self._tracing:
+                        self._step(
+                            "kernel",
+                            f"fault persists after {attempt} deliveries to "
+                            f"{manager.name}; treating the manager as faulty",
+                        )
+                    self._fail_over(
+                        target, manager, fault, "failed to resolve the fault"
+                    )
+                    continue  # re-resolve; the next delivery goes to the fallback
             self.dispatch_fault(fault)
+        self._failover_pending = False
         raise UnresolvedFaultError(
             f"fault on page {vpn} of {space.name} persisted after "
             f"{MAX_FAULT_RETRIES} manager invocations"
@@ -696,6 +782,52 @@ class Kernel:
                 f"{manager.name}",
                 self.costs.vpp_fault_dispatch,
             )
+        # The fallback manager is exempt from injection: the paper's
+        # survival story assumes the default manager itself is sound.
+        outcome = None
+        if self.injector.enabled and manager is not self.fallback_manager:
+            outcome = self.injector.manager_invocation(manager.name)
+        if outcome is ManagerFailureMode.HANG:
+            self._manager_unresponsive(segment, manager, fault, "timed out")
+            return self.dispatch_fault(fault)
+        deliveries = 1
+        if (
+            self.injector.enabled
+            and outcome is None
+            and manager.invocation is InvocationMode.SEPARATE_PROCESS
+            and manager is not self.fallback_manager
+        ):
+            deliveries = self._ipc_deliveries(segment, manager, fault)
+            if deliveries == 0:
+                # undeliverable: failover already happened; redeliver there
+                return self.dispatch_fault(fault)
+        try:
+            if outcome is ManagerFailureMode.CRASH:
+                # control transfers to the manager, which then dies
+                if manager.invocation is InvocationMode.SEPARATE_PROCESS:
+                    self.meter.charge(
+                        "fault_ipc",
+                        self.costs.ipc_message + self.costs.context_switch,
+                    )
+                else:
+                    self.meter.charge("fault_upcall", self.costs.vpp_upcall)
+                raise ManagerCrashError(
+                    f"manager {manager.name} died on fault delivery"
+                )
+            byzantine = outcome is ManagerFailureMode.BYZANTINE
+            for _ in range(deliveries):
+                self._invoke_manager(manager, fault, byzantine=byzantine)
+        except ManagerCrashError as crash:
+            self.stats.manager_crashes += 1
+            if self._tracing:
+                self._step("kernel", f"manager crash detected: {crash}")
+            self._fail_over(segment, manager, fault, "crashed")
+            return self.dispatch_fault(fault)
+
+    def _invoke_manager(
+        self, manager: SegmentManager, fault: PageFault, byzantine: bool
+    ) -> None:
+        """One delivery: control transfer, handler, resumption charges."""
         if manager.invocation is InvocationMode.SEPARATE_PROCESS:
             self.meter.charge(
                 "fault_ipc",
@@ -703,11 +835,19 @@ class Kernel:
             )
         else:
             self.meter.charge("fault_upcall", self.costs.vpp_upcall)
-        with self.attribute(manager.name):
-            with self.tracer.span(
-                "manager", "handle_fault", manager=manager.name
-            ):
-                manager.handle_fault(fault)
+        if byzantine:
+            self.stats.byzantine_replies += 1
+            if self._tracing:
+                self._step(
+                    "manager",
+                    f"{manager.name} replies without resolving the fault",
+                )
+        else:
+            with self.attribute(manager.name):
+                with self.tracer.span(
+                    "manager", "handle_fault", manager=manager.name
+                ):
+                    manager.handle_fault(fault)
         if manager.invocation is InvocationMode.SEPARATE_PROCESS:
             self.meter.charge(
                 "fault_ipc",
@@ -724,6 +864,153 @@ class Kernel:
                 if manager.invocation is InvocationMode.IN_PROCESS
                 else self.costs.vpp_kernel_resume,
             )
+
+    # ------------------------------------------------------------------
+    # graceful degradation (paper S2.2: the kernel protects itself from
+    # faulty or uncooperative segment managers)
+    # ------------------------------------------------------------------
+
+    def _ipc_deliveries(
+        self, segment: Segment, manager: SegmentManager, fault: PageFault
+    ) -> int:
+        """How many times to invoke the handler for one fault message.
+
+        Models at-least-once IPC: a dropped message costs the send plus a
+        reply timeout and is redelivered (bounded); a duplicated message
+        invokes the handler twice, which managers must tolerate.  Returns
+        0 when the manager proved unreachable (failover already done).
+        """
+        delivery = self.injector.ipc_delivery(manager.name)
+        redeliveries = 0
+        while delivery is IPCFailureMode.DROP:
+            self.stats.ipc_drops += 1
+            # the lost send still costs a message; then the kernel waits
+            # out its reply timeout before redelivering
+            self.meter.charge("fault_ipc", self.costs.ipc_message)
+            self.meter.charge(
+                "manager_timeout", self.costs.manager_timeout_us
+            )
+            if self._tracing:
+                self._step(
+                    "kernel",
+                    f"fault message to {manager.name} lost; redeliver "
+                    "after reply timeout",
+                    self.costs.manager_timeout_us,
+                )
+            redeliveries += 1
+            if redeliveries > IPC_MAX_REDELIVERIES:
+                self._manager_unresponsive(
+                    segment, manager, fault, "unreachable"
+                )
+                return 0
+            delivery = self.injector.ipc_delivery(manager.name)
+        if delivery is IPCFailureMode.DUPLICATE:
+            self.stats.ipc_duplicates += 1
+            if self._tracing:
+                self._step(
+                    "kernel",
+                    f"fault message to {manager.name} duplicated "
+                    "(at-least-once delivery)",
+                )
+            return 2
+        return 1
+
+    def _manager_unresponsive(
+        self,
+        segment: Segment,
+        manager: SegmentManager,
+        fault: PageFault,
+        reason: str,
+    ) -> None:
+        """Per-fault timeout expired with no manager reply: fail over."""
+        self.stats.manager_timeouts += 1
+        self.meter.charge("manager_timeout", self.costs.manager_timeout_us)
+        if self._tracing:
+            self._step(
+                "kernel",
+                f"manager {manager.name} unresponsive; per-fault timeout "
+                f"({self.costs.manager_timeout_us:.0f} us) expires",
+                self.costs.manager_timeout_us,
+            )
+        self._fail_over(segment, manager, fault, reason)
+
+    def _fail_over(
+        self,
+        segment: Segment,
+        manager: SegmentManager,
+        fault: PageFault,
+        reason: str,
+    ) -> None:
+        """Reassign every segment of a failed manager to the fallback.
+
+        The fallback (default) manager adopts the failed manager's
+        resident pages and the SPCM forcibly seizes its free frames ---
+        a dead manager cannot cooperate, so the SPCM takes the frames
+        back through the kernel directly.  With no fallback available
+        the fault becomes an :class:`UnresolvedFaultError`, which
+        suspends only the faulting process.
+        """
+        fallback = self.fallback_manager
+        if fallback is None or manager is fallback:
+            raise UnresolvedFaultError(
+                f"{fault.describe()}: manager {manager.name} {reason} and "
+                "no fallback manager is available; suspending the "
+                "faulting process"
+            )
+        self.stats.manager_failovers += 1
+        manager.failed = True
+        with self.tracer.span(
+            "kernel",
+            "manager_failover",
+            failed=manager.name,
+            to=fallback.name,
+            reason=reason,
+        ):
+            if self._tracing:
+                self._step(
+                    "kernel",
+                    f"fail segments of {manager.name} over to "
+                    f"{fallback.name} ({reason})",
+                )
+            for seg_id in sorted(manager.managed):
+                seg = self._segments.get(seg_id)
+                if seg is None:
+                    continue
+                self.set_segment_manager(seg, fallback)
+                fallback.adopt_segment(seg)
+            if self.spcm is not None:
+                self.spcm.seize_frames(manager)
+        self._failover_pending = True
+
+    def retire_frame(self, frame: PageFrame) -> None:
+        """Remove a frame from service after an uncorrectable ECC error.
+
+        The frame leaves its owning segment and joins the retired set;
+        the next reference to the page re-faults, so the manager refills
+        the data into a healthy frame.
+        """
+        self.stats.ecc_retirements += 1
+        self.meter.charge("ecc_retire", self.costs.trap_entry_exit)
+        if self._tracing:
+            self._step(
+                "kernel",
+                f"uncorrectable ECC error: retire frame pfn={frame.pfn}",
+                self.costs.trap_entry_exit,
+            )
+        owner = (
+            self._segments.get(frame.owner_segment_id)
+            if frame.owner_segment_id is not None
+            else None
+        )
+        if owner is not None and owner.pages.get(frame.page_index) is frame:
+            del owner.pages[frame.page_index]
+        self._invalidate_frame_translations(frame)
+        frame.owner_segment_id = None
+        frame.page_index = None
+        frame.flags = 0
+        self.retired_frames.add(frame.pfn)
+        if self.spcm is not None:
+            self.spcm.note_frame_retired(frame)
 
     def _through_bindings(
         self,
@@ -800,10 +1087,15 @@ class Kernel:
         return census
 
     def check_frame_conservation(self) -> None:
-        """Raise unless every frame is owned by exactly one segment."""
+        """Raise unless every in-service frame is owned by one segment.
+
+        Frames retired after ECC failures (:meth:`retire_frame`) have
+        left service on purpose and are excluded from the count.
+        """
         census = self.frame_census()
-        if len(census) != self.memory.n_frames:
-            missing = self.memory.n_frames - len(census)
+        expected = self.memory.n_frames - len(self.retired_frames)
+        if len(census) != expected:
+            missing = expected - len(census)
             raise MigrationError(
                 f"{missing} frame(s) are not owned by any segment"
             )

@@ -48,6 +48,9 @@ class SegmentManager(ABC):
         self.name = name
         #: seg_ids this manager currently manages
         self.managed: set[int] = set()
+        #: set by the kernel once it has failed this manager over; a failed
+        #: manager keeps no segments and is never dispatched to again
+        self.failed = False
 
     def manage(self, segment: "Segment") -> None:
         """Assume management of ``segment`` (a SetSegmentManager call)."""
@@ -63,6 +66,28 @@ class SegmentManager(ABC):
         migrating a frame into it --- or raise; the kernel re-resolves after
         the handler returns and converts persistent failure into
         :class:`~repro.errors.UnresolvedFaultError`.
+
+        Fault delivery to a ``SEPARATE_PROCESS`` manager is at-least-once:
+        a duplicated IPC message invokes the handler twice for the same
+        fault, so handlers must be idempotent (treat an already-resident
+        page as resolved).
+        """
+
+    def adopt_segment(self, segment: "Segment") -> None:
+        """A failed manager's segment was reassigned here by the kernel.
+
+        Called after :meth:`~repro.core.kernel.Kernel.set_segment_manager`
+        during failover so the adopter can index the segment's resident
+        pages for its own reclaim policy.  Default: no bookkeeping.
+        """
+
+    def on_frames_seized(self, pages: list[int]) -> None:
+        """The SPCM forcibly reclaimed these free-segment pages.
+
+        Unlike :meth:`release_frames` (a negotiation the manager controls),
+        seizure happens *to* the manager after the kernel declares it
+        failed; this hook lets it drop the seized pages from its free
+        lists.  Default: no bookkeeping.
         """
 
     def segment_deleted(self, segment: "Segment") -> None:

@@ -19,8 +19,12 @@ from repro.core.faults import FaultKind, PageFault
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
 from repro.core.segment import Segment
-from repro.errors import UIOError
+from repro.errors import TransientDiskError, UIOError
 from repro.hw.disk import Disk
+
+#: Transient disk errors are retried this many times (with exponential
+#: backoff) before the file server gives up on the request.
+MAX_IO_RETRIES = 4
 
 
 def pages_for_bytes(n_bytes: int, page_size: int) -> int:
@@ -58,6 +62,56 @@ class FileServer:
         self.network_rtt_us = network_rtt_us
         self._files: dict[int, CachedFile] = {}
         self._next_block = 0
+        self.io_retries = 0
+        self.io_errors = 0
+
+    # -- disk access with transient-error retry ---------------------------
+
+    def _disk_read(self, block_no: int, n_blocks: int) -> tuple[bytes, float]:
+        """``disk.read_range`` with retry-with-backoff on transient errors."""
+        return self._with_retries(
+            "read", block_no, lambda: self.disk.read_range(block_no, n_blocks)
+        )
+
+    def _disk_write(self, block_no: int, data: bytes) -> float:
+        """``disk.write_range`` with retry-with-backoff on transient errors."""
+        return self._with_retries(
+            "write", block_no, lambda: self.disk.write_range(block_no, data)
+        )
+
+    def _with_retries(self, op, block_no, attempt_fn):
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return attempt_fn()
+            except TransientDiskError as exc:
+                self.io_errors += 1
+                if attempt > MAX_IO_RETRIES:
+                    raise UIOError(
+                        f"disk {op} at block {block_no} failed after "
+                        f"{MAX_IO_RETRIES} retries: {exc}"
+                    ) from exc
+                self.io_retries += 1
+                backoff = (
+                    self.kernel.costs.io_retry_backoff_us * 2 ** (attempt - 1)
+                )
+                self.kernel.meter.charge("io_retry", backoff)
+                if self.kernel.tracer.enabled:
+                    self.kernel.tracer.event(
+                        "file_server",
+                        f"transient {op} error at block {block_no} "
+                        f"(attempt {attempt}); retry after backoff",
+                        backoff,
+                    )
+
+    def stats_dict(self) -> dict[str, float]:
+        """Flat values for a metrics-registry provider."""
+        return {
+            "files": float(len(self._files)),
+            "io_retries": float(self.io_retries),
+            "io_errors": float(self.io_errors),
+        }
 
     def create_file(
         self, segment: Segment, size_bytes: int = 0, data: bytes | None = None
@@ -78,7 +132,7 @@ class FileServer:
         if data:
             padded_len = pages_for_bytes(len(data), self.disk.block_size)
             padded = data + bytes(padded_len * self.disk.block_size - len(data))
-            self.disk.write_range(start_block, padded)
+            self._disk_write(start_block, padded)
         segment.ensure_size(pages_for_bytes(size_bytes, segment.page_size))
         return file
 
@@ -119,7 +173,7 @@ class FileServer:
                 "from the file server",
             )
         blocks_per_page = segment.page_size // self.disk.block_size
-        data, service_us = self.disk.read_range(
+        data, service_us = self._disk_read(
             file.start_block + page * blocks_per_page, blocks_per_page
         )
         self.kernel.meter.charge("file_server", service_us + self.network_rtt_us)
@@ -147,7 +201,7 @@ class FileServer:
         self, file: CachedFile, segment: Segment, page: int, data: bytes
     ) -> None:
         blocks_per_page = segment.page_size // self.disk.block_size
-        self.disk.write_range(
+        self._disk_write(
             file.start_block + page * blocks_per_page, data
         )
         self.kernel.meter.charge(

@@ -58,6 +58,11 @@ class TPConfig:
     #: required to handle a page fault on the SGI 4/380", S3.3)
     page_fault_us: float = 11_000.0
     eviction_period_txns: int = 500       # "paged in every 500 transactions"
+    # -- chaos (robustness replication under mild disk faults) ---------------
+    #: probability one index page-in hits a transient disk error and must
+    #: be retried (each retry re-pays the fault-service delay); 0 disables
+    #: the injection entirely (no RNG draws, bit-identical runs)
+    disk_error_rate: float = 0.0
 
 
 @dataclass
@@ -130,6 +135,7 @@ def run_tp_experiment(
         extra={
             "p95_ms": ctx.response_all.percentile(95) * to_ms,
             "p99_ms": ctx.response_all.percentile(99) * to_ms,
+            "injected_disk_errors": float(ctx.injected_disk_errors),
             "cpu_utilization": (
                 ctx.cpu_busy_us / (engine.now * config.n_cpus)
                 if engine.now > 0

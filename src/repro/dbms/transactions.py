@@ -58,6 +58,7 @@ class TPContext:
     completed: int = 0
     index_faults: int = 0
     regenerations: int = 0
+    injected_disk_errors: int = 0
     cpu_busy_us: float = 0.0
 
     def record(self, kind: str, arrived_at: float, measured: bool) -> None:
@@ -153,6 +154,17 @@ def join_transaction(ctx: TPContext, txn_id: int, measured: bool):
             # but not a CPU (blocked on the disk)
             for page in index.missing_pages():
                 yield Delay(config.page_fault_us)
+                if config.disk_error_rate:
+                    # transient disk errors: each retry re-pays the fault
+                    # delay, bounded so a run always terminates
+                    retries = 0
+                    while (
+                        retries < 4
+                        and ctx.rng.bernoulli(config.disk_error_rate)
+                    ):
+                        ctx.injected_disk_errors += 1
+                        retries += 1
+                        yield Delay(config.page_fault_us)
                 index.fault_in(page)
                 ctx.index_faults += 1
         yield from use_cpu(ctx, config.join_index_compute_us)

@@ -33,7 +33,12 @@ class BindingError(KernelError):
 
 
 class UnresolvedFaultError(KernelError):
-    """A page fault could not be resolved by the responsible manager."""
+    """A page fault could not be resolved by the responsible manager.
+
+    The kernel's last resort: after exhausting retries (and, when a
+    fallback manager is configured, failing over to it) the kernel gives
+    up on the reference and suspends only the faulting process.
+    """
 
 
 class NoManagerError(KernelError):
@@ -52,8 +57,16 @@ class PhysicalMemoryError(HardwareError):
     """An invalid physical frame was referenced."""
 
 
+class FrameECCError(PhysicalMemoryError):
+    """A page frame reported an uncorrectable ECC (machine-check) error."""
+
+
 class DiskError(HardwareError):
     """An invalid disk transfer was requested."""
+
+
+class TransientDiskError(DiskError):
+    """A disk transfer failed transiently; the request may be retried."""
 
 
 class ManagerError(ReproError):
@@ -62,6 +75,15 @@ class ManagerError(ReproError):
 
 class OutOfFramesError(ManagerError):
     """A manager could not obtain a page frame to satisfy a fault."""
+
+
+class ManagerCrashError(ManagerError):
+    """A segment manager process died while (or before) handling a request.
+
+    The kernel treats this like any other manager failure: it fails the
+    segment over to the fallback (default) manager and lets the SPCM
+    forcibly reclaim the dead manager's free frames.
+    """
 
 
 class SPCMError(ReproError):
@@ -94,3 +116,11 @@ class LockProtocolError(DBMSError):
 
 class WorkloadError(ReproError):
     """A workload trace or application model was malformed."""
+
+
+class ChaosError(ReproError):
+    """Base class for errors raised by the fault-injection subsystem."""
+
+
+class InvariantViolationError(ChaosError):
+    """A system-wide invariant did not hold after an injected event."""

@@ -92,6 +92,10 @@ class MachineCosts:
     disk_bandwidth_mb_s: float = 1.6     # sustained transfer rate
     page_fault_disk_us: float = 20000.0  # full page fault serviced from disk
 
+    # --- degradation paths (chaos-mode survival behaviors) ---------------
+    manager_timeout_us: float = 5000.0   # kernel per-fault manager timeout
+    io_retry_backoff_us: float = 1000.0  # base backoff after transient I/O err
+
     def instructions_us(self, n_instructions: float) -> float:
         """Microseconds to execute ``n_instructions`` on one CPU."""
         return n_instructions / self.cpu_mips

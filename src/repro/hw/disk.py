@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import DiskError
+from repro.chaos.injector import NULL_INJECTOR
+from repro.errors import DiskError, TransientDiskError
 from repro.hw.costs import MachineCosts
 from repro.obs.trace import NULL_TRACER
 
@@ -23,6 +24,8 @@ class DiskStats:
     bytes_read: int = 0
     bytes_written: int = 0
     busy_us: float = 0.0
+    #: transient errors surfaced to callers (chaos injection only)
+    errors: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Flat values for a metrics-registry provider."""
@@ -32,6 +35,7 @@ class DiskStats:
             "bytes_read": float(self.bytes_read),
             "bytes_written": float(self.bytes_written),
             "busy_us": self.busy_us,
+            "errors": float(self.errors),
         }
 
 
@@ -53,10 +57,28 @@ class Disk:
         self.stats = DiskStats()
         #: set by ``build_system``; transfers are reported as trace events
         self.tracer = NULL_TRACER
+        #: chaos choke point; transient errors and latency spikes land here
+        self.injector = NULL_INJECTOR
 
     def _check_block(self, block_no: int) -> None:
         if not 0 <= block_no < self.capacity_blocks:
             raise DiskError(f"block {block_no} out of range")
+
+    def _injected_factor(self, op: str, block_no: int) -> float:
+        """Consult the injector before a transfer touches any state.
+
+        Returns the service-time multiplier (1.0 with injection off);
+        raises :class:`TransientDiskError` when an error is injected,
+        before any block is read or written, so a retried request sees
+        clean state.
+        """
+        if not self.injector.enabled:
+            return 1.0
+        try:
+            return self.injector.disk_io(op, block_no)
+        except TransientDiskError:
+            self.stats.errors += 1
+            raise
 
     def _note_io(self, op: str, block_no: int, n_bytes: int, us: float) -> None:
         if self.tracer.enabled:
@@ -67,8 +89,9 @@ class Disk:
     def read_block(self, block_no: int) -> tuple[bytes, float]:
         """Read one block; returns ``(data, service_time_us)``."""
         self._check_block(block_no)
+        factor = self._injected_factor("read", block_no)
         data = self._blocks.get(block_no, bytes(self.block_size))
-        service_us = self.costs.disk_transfer_us(self.block_size)
+        service_us = factor * self.costs.disk_transfer_us(self.block_size)
         self.stats.reads += 1
         self.stats.bytes_read += self.block_size
         self.stats.busy_us += service_us
@@ -82,8 +105,9 @@ class Disk:
             raise DiskError(
                 f"write of {len(data)} bytes to {self.block_size}-byte block"
             )
+        factor = self._injected_factor("write", block_no)
         self._blocks[block_no] = bytes(data)
-        service_us = self.costs.disk_transfer_us(self.block_size)
+        service_us = factor * self.costs.disk_transfer_us(self.block_size)
         self.stats.writes += 1
         self.stats.bytes_written += self.block_size
         self.stats.busy_us += service_us
@@ -100,12 +124,13 @@ class Disk:
             raise DiskError("must read at least one block")
         self._check_block(block_no)
         self._check_block(block_no + n_blocks - 1)
+        factor = self._injected_factor("read", block_no)
         chunks = [
             self._blocks.get(b, bytes(self.block_size))
             for b in range(block_no, block_no + n_blocks)
         ]
         n_bytes = n_blocks * self.block_size
-        service_us = self.costs.disk_transfer_us(n_bytes)
+        service_us = factor * self.costs.disk_transfer_us(n_bytes)
         self.stats.reads += 1
         self.stats.bytes_read += n_bytes
         self.stats.busy_us += service_us
@@ -122,11 +147,12 @@ class Disk:
         n_blocks = len(data) // self.block_size
         self._check_block(block_no)
         self._check_block(block_no + n_blocks - 1)
+        factor = self._injected_factor("write", block_no)
         for i in range(n_blocks):
             self._blocks[block_no + i] = bytes(
                 data[i * self.block_size : (i + 1) * self.block_size]
             )
-        service_us = self.costs.disk_transfer_us(len(data))
+        service_us = factor * self.costs.disk_transfer_us(len(data))
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
         self.stats.busy_us += service_us

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Mapping
 
+from repro.chaos.injector import NULL_INJECTOR
 from repro.errors import PhysicalMemoryError
 
 
@@ -147,6 +148,19 @@ class PhysicalMemory:
                     )
                     phys_addr += size
         self.size_bytes = phys_addr
+        #: chaos choke point; frame ECC failures are drawn here
+        self.injector = NULL_INJECTOR
+
+    def ecc_failure(self, frame: PageFrame) -> bool:
+        """Does referencing ``frame`` raise an uncorrectable ECC error?
+
+        Always false on healthy hardware; a chaos injector makes the
+        answer a seeded Bernoulli draw.  The kernel responds by retiring
+        the frame and re-running the reference.
+        """
+        if not self.injector.enabled:
+            return False
+        return self.injector.frame_ecc(frame.pfn)
 
     # -- lookup --------------------------------------------------------------
 

@@ -94,5 +94,13 @@ class TLB:
         self._entries.clear()
         self.stats.flushes += 1
 
+    def entries(self) -> list[tuple[tuple[int, int], object]]:
+        """Snapshot of ``((space_id, vpn), payload)`` pairs, LRU order.
+
+        Read-only view for coherence audits (``chaos.InvariantChecker``);
+        does not refresh LRU order.
+        """
+        return list(self._entries.items())
+
     def __len__(self) -> int:
         return len(self._entries)

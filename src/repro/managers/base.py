@@ -79,6 +79,7 @@ class GenericSegmentManager(SegmentManager):
         self.fast_reclaims = 0
         self.pages_reclaimed = 0
         self.writebacks = 0
+        self.duplicate_deliveries = 0
         if initial_frames:
             self.request_frames(initial_frames)
 
@@ -134,6 +135,7 @@ class GenericSegmentManager(SegmentManager):
                 f"{self.name} allocates a frame from its free segment",
                 self.kernel.costs.vpp_manager_alloc,
             )
+        self._maybe_crash_in_alloc()
         if not self._free_slots:
             self.request_frames(self.refill_batch)
         if not self._free_slots:
@@ -167,6 +169,7 @@ class GenericSegmentManager(SegmentManager):
         return run
 
     def _pop_slot(self) -> int:
+        self._maybe_crash_in_alloc()
         if not self._free_slots:
             self.request_frames(self.refill_batch)
         if not self._free_slots:
@@ -176,6 +179,17 @@ class GenericSegmentManager(SegmentManager):
         slot = self._free_slots.pop()
         self._drop_stale(slot)
         return slot
+
+    def _maybe_crash_in_alloc(self) -> None:
+        """Chaos choke point: the manager can die inside its allocator.
+
+        Models a manager crashing mid-handler; the kernel catches the
+        resulting :class:`~repro.errors.ManagerCrashError` in its dispatch
+        path and fails the segment over.  The fallback manager is exempt.
+        """
+        injector = self.kernel.injector
+        if injector.enabled and self is not self.kernel.fallback_manager:
+            injector.manager_alloc(self.name)
 
     def _find_run(self, n: int) -> list[int] | None:
         if len(self._free_slots) < n:
@@ -203,6 +217,7 @@ class GenericSegmentManager(SegmentManager):
             "writebacks": float(self.writebacks),
             "free_frames": float(self.free_frames),
             "resident_pages": float(len(self._resident)),
+            "duplicate_deliveries": float(self.duplicate_deliveries),
         }
 
     def invalidate_reclaim_cache(self) -> None:
@@ -229,6 +244,8 @@ class GenericSegmentManager(SegmentManager):
         segment = self.kernel.segment(fault.segment_id)
         if fault.kind is FaultKind.PROTECTION:
             self.on_protection_fault(segment, fault)
+            return
+        if self._duplicate_delivery(segment, fault):
             return
         key = (fault.segment_id, fault.page)
         stale_slot = self._stale_slot.get(key)
@@ -286,6 +303,24 @@ class GenericSegmentManager(SegmentManager):
                 f"migrate frame pfn={frame.pfn} into {segment.name} "
                 f"page {fault.page}",
             )
+
+    def _duplicate_delivery(self, segment: Segment, fault: PageFault) -> bool:
+        """At-least-once IPC: is this a redelivery of a resolved fault?
+
+        A duplicated fault message arrives after the first delivery
+        already resolved the page, so it finds the page resident.  The
+        handler must be idempotent: note it and do nothing.
+        """
+        if fault.page not in segment.pages:
+            return False
+        self.duplicate_deliveries += 1
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "manager",
+                f"{self.name}: duplicate fault delivery for page "
+                f"{fault.page} of {segment.name}; already resolved",
+            )
+        return True
 
     def on_protection_fault(self, segment: Segment, fault: PageFault) -> None:
         """Default protection-fault policy: restore full access."""
@@ -428,6 +463,19 @@ class GenericSegmentManager(SegmentManager):
         if len(self._free_slots) < n_frames:
             self.reclaim_pages(n_frames - len(self._free_slots))
         return self.return_frames(n_frames)
+
+    def adopt_segment(self, segment: Segment) -> None:
+        """Index a failed manager's resident pages for our reclaim policy."""
+        for page in sorted(segment.pages):
+            self._note_resident(segment, page)
+
+    def on_frames_seized(self, pages: list[int]) -> None:
+        """The SPCM forcibly took these free-segment pages back."""
+        seized = set(pages)
+        self._free_slots = [s for s in self._free_slots if s not in seized]
+        for slot in pages:
+            self._drop_stale(slot)
+        self._empty_slots.extend(pages)
 
     # ------------------------------------------------------------------
     # pinning helpers (S2.2: the manager keeps its own pages in memory)

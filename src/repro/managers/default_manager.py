@@ -50,8 +50,9 @@ class DefaultSegmentManager(GenericSegmentManager):
         initial_frames: int = 256,
         append_unit_pages: int = 4,
         clock_batch_pages: int = 8,
+        name: str = "default-manager",
     ) -> None:
-        super().__init__(kernel, spcm, "default-manager", initial_frames)
+        super().__init__(kernel, spcm, name, initial_frames)
         self.file_server = file_server
         self.append_unit_pages = append_unit_pages
         self.sampler = ProtectionClockSampler(self, clock_batch_pages)
@@ -66,6 +67,11 @@ class DefaultSegmentManager(GenericSegmentManager):
 
     def handle_fault(self, fault: PageFault) -> None:
         segment = self.kernel.segment(fault.segment_id)
+        if fault.kind is not FaultKind.PROTECTION and self._duplicate_delivery(
+            segment, fault
+        ):
+            self.faults_handled += 1
+            return
         if (
             fault.kind is FaultKind.MISSING_PAGE
             and fault.write

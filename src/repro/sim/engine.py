@@ -36,7 +36,13 @@ class Engine:
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute time ``when``."""
-        self.schedule(when - self.now, callback)
+        delay = when - self.now
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule into the past: requested t={when}, "
+                f"now={self.now} (delay {delay})"
+            )
+        self.schedule(delay, callback)
 
     def spawn(self, generator, name: str = "") -> "Process":
         """Create and start a :class:`Process` from a generator."""
@@ -75,3 +81,7 @@ class Engine:
     def blocked_processes(self) -> list["Process"]:
         """Processes that are neither finished nor scheduled to run."""
         return [p for p in self._processes if p.blocked]
+
+    def suspended_processes(self) -> list["Process"]:
+        """Processes suspended by an unresolved fault (chaos runs)."""
+        return [p for p in self._processes if getattr(p, "suspended", False)]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, UnresolvedFaultError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Engine
@@ -61,6 +61,10 @@ class Process:
         self._gen = generator
         self.finished = False
         self.result: Any = None
+        #: set when the process was suspended by an unresolved fault
+        self.suspended = False
+        #: the UnresolvedFaultError that suspended the process, if any
+        self.failure: UnresolvedFaultError | None = None
         self.started_at: float = engine.now
         self.finished_at: float | None = None
         #: fires with ``result`` when the generator returns
@@ -86,6 +90,16 @@ class Process:
             self.finished_at = self.engine.now
             self.result = stop.value
             self.done.fire(stop.value)
+            return
+        except UnresolvedFaultError as fault:
+            # The kernel gave up on this process's fault: only the
+            # faulting process is suspended; the rest of the simulation
+            # keeps running (``done`` fires so joiners do not deadlock).
+            self.finished = True
+            self.suspended = True
+            self.failure = fault
+            self.finished_at = self.engine.now
+            self.done.fire(fault)
             return
         if isinstance(command, Delay):
             self.engine.schedule(command.duration, lambda: self._step(None))

@@ -69,11 +69,16 @@ class SystemPageCacheManager:
         self.deferred_requests = 0
         self.refused_requests = 0
         self.granted_frames = 0
+        self.seized_frames = 0
+        self.retired_frames = 0
         for boot in kernel.boot_segments.values():
             free = self._free.setdefault(boot.page_size, [])
             for page, frame in sorted(boot.pages.items()):
                 free.append(page)
                 self._home[frame.pfn] = (boot, page)
+        # the kernel's degradation paths (failover, ECC retirement) need
+        # to reach the SPCM without threading it through every call
+        kernel.spcm = self
 
     # -- registration -------------------------------------------------------
 
@@ -110,6 +115,8 @@ class SystemPageCacheManager:
             "deferred_requests": float(self.deferred_requests),
             "refused_requests": float(self.refused_requests),
             "available_frames": float(self.available_frames()),
+            "seized_frames": float(self.seized_frames),
+            "retired_frames": float(self.retired_frames),
         }
 
     # -- allocation ------------------------------------------------------------
@@ -310,6 +317,52 @@ class SystemPageCacheManager:
             freed = manager.release_frames(n_frames)
             span.set_attr("n_freed", freed)
             return freed
+
+    def seize_frames(self, manager: SegmentManager) -> int:
+        """Forcibly reclaim a failed manager's free frames.
+
+        :meth:`force_reclaim` negotiates --- the manager chooses what to
+        surrender --- but a crashed or hung manager cannot cooperate, so
+        after the kernel fails it over the SPCM takes every frame still
+        sitting in its free segment back into the pool directly.
+        Resident pages are untouched (the fallback manager adopted those
+        segments and will reclaim them through normal replacement).
+        """
+        with self.kernel.tracer.span(
+            "spcm",
+            "seize_frames",
+            account=self.account_of(manager),
+        ) as span:
+            free_segment = getattr(manager, "free_segment", None)
+            pages = (
+                sorted(free_segment.pages) if free_segment is not None else []
+            )
+            if pages:
+                self.return_frames(manager, free_segment, pages)
+            manager.on_frames_seized(pages)
+            self.seized_frames += len(pages)
+            span.set_attr("n_seized", len(pages))
+            return len(pages)
+
+    def note_frame_retired(self, frame) -> None:
+        """The kernel retired ``frame`` after an ECC failure.
+
+        The frame leaves the SPCM's books entirely: it no longer counts
+        against its holder's grant and can never be handed out again.
+        """
+        self.retired_frames += 1
+        account = self._last_account.pop(frame.pfn, None)
+        if account is not None and account in self.frames_held:
+            self.frames_held[account] = max(
+                0, self.frames_held[account] - 1
+            )
+            self._update_market_holding(account, frame.page_size)
+        home = self._home.pop(frame.pfn, None)
+        if home is not None:
+            home_boot, home_page = home
+            free = self._free.get(home_boot.page_size)
+            if free is not None and home_page in free:
+                free.remove(home_page)
 
     def charge_io(self, manager: SegmentManager, n_bytes: int) -> float:
         """Bill a manager's backing-store traffic to its dram account.

@@ -438,3 +438,90 @@ class TestSystemMetrics:
         assert "disk.reads" in snap
         assert "spcm.granted_frames" in snap
         assert snap["default_manager.faults_handled"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# integration: manager failover under injection (golden degradation trace)
+# ---------------------------------------------------------------------------
+
+#: The degradation path as span (component, operation) pairs, in DFS order:
+#: the victim manager times out, the kernel fails its segments over to the
+#: default manager (SPCM seizing the victim's frame stock on the way), and
+#: the re-dispatched fault resolves via the ordinary Figure-2 tail.
+FAILOVER_SPANS = [
+    ("application", "page_fault"),
+    ("kernel", "dispatch_fault"),
+    ("kernel", "manager_failover"),
+    ("spcm", "seize_frames"),
+    ("kernel", "dispatch_fault"),
+    ("manager", "handle_fault"),
+    ("manager", "fill_page"),
+    ("file_server", "fetch_page"),
+    ("kernel", "MigratePages"),
+]
+
+
+@pytest.fixture
+def traced_failover():
+    """One fault whose manager hangs exactly once, traced end to end."""
+    from repro.chaos import ChaosPlan, Injector
+    from repro.managers.default_manager import DefaultSegmentManager
+
+    tracer = Tracer()
+    system = build_system(memory_mb=8, tracer=tracer)
+    kernel = system.kernel
+    victim = DefaultSegmentManager(
+        kernel,
+        system.spcm,
+        system.file_server,
+        initial_frames=0,
+        name="victim-ucds",
+    )
+    file_seg = kernel.create_segment(
+        0, name="fo-file", manager=victim, auto_grow=True
+    )
+    system.file_server.create_file(file_seg, data=b"fig2" * 2048)
+    space = kernel.create_segment(8, name="fo-space")
+    space.bind(0, 2, file_seg, 0)
+    injector = Injector(
+        ChaosPlan(
+            seed=0,
+            manager_hang_rate=1.0,
+            max_injections=1,
+            target_managers=("victim-ucds",),
+        ),
+        tracer=tracer,
+    )
+    injector.install(system)
+    tracer.reset()  # drop boot/setup spans
+    kernel.reference(space, 0, write=False)
+    return tracer, kernel
+
+
+class TestFailoverGoldenTrace:
+    def test_exact_span_sequence(self, traced_failover):
+        tracer, _ = traced_failover
+        (root,) = tracer.roots()
+        got = [(s.component, s.operation) for s, _ in tracer.walk(root)]
+        assert got == FAILOVER_SPANS
+
+    def test_failover_span_names_the_handoff(self, traced_failover):
+        tracer, _ = traced_failover
+        (root,) = tracer.roots()
+        spans = [s for s, _ in tracer.walk(root)]
+        failover = next(s for s in spans if s.operation == "manager_failover")
+        assert failover.attrs["failed"] == "victim-ucds"
+        assert failover.attrs["to"] == "default-manager"
+        assert failover.attrs["reason"] == "timed out"
+        # the re-dispatch resolves via the fallback manager
+        redispatch = [s for s in spans if s.operation == "dispatch_fault"][1]
+        assert redispatch.attrs["manager"] == "default-manager"
+
+    def test_degradation_counters(self, traced_failover):
+        _, kernel = traced_failover
+        stats = kernel.stats.as_dict()
+        assert stats["manager_timeouts"] == 1.0
+        assert stats["manager_failovers"] == 1.0
+        assert stats["fallback_resolutions"] == 1.0
+        assert stats["manager_calls.victim-ucds"] == 1.0
+        assert stats["manager_calls.default-manager"] == 1.0

@@ -57,6 +57,20 @@ class TestEngine:
         engine.run()
         assert seen == [15]
 
+    def test_schedule_at_past_names_time_and_delay(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run()
+        assert engine.now == 10
+        with pytest.raises(SimulationError) as excinfo:
+            engine.schedule_at(3, lambda: None)
+        message = str(excinfo.value)
+        # the error names both the requested absolute time and the
+        # (negative) delay it implies from the current clock
+        assert "t=3" in message
+        assert "now=10" in message
+        assert "-7" in message
+
     def test_nested_scheduling(self):
         engine = Engine()
         seen = []
