@@ -1,0 +1,79 @@
+"""NUMA scale-out: fault-service throughput across sharded SPCMs.
+
+DASH-style distributed memory (paper, S1) with one SPCM shard per node:
+fault service on different nodes proceeds independently, so aggregate
+throughput should scale with the node count while grants stay
+node-local.  CI gates on the 4-node speedup (>= 1.5x over one node) and
+on the report being written.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.numa_scaleout import run_one, run_scaleout
+
+pytestmark = pytest.mark.numa
+
+#: the acceptance floor: 4 nodes must beat 1 node by at least this much
+MIN_SPEEDUP_AT_4_NODES = 1.5
+
+
+def test_scaleout_sweep(benchmark):
+    def run():
+        return run_scaleout(total_faults=1024)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_nodes = {row["n_nodes"]: row for row in report["results"]}
+    assert by_nodes[4]["speedup_vs_1_node"] >= MIN_SPEEDUP_AT_4_NODES
+    # throughput must not regress as nodes are added
+    speedups = [row["speedup_vs_1_node"] for row in report["results"]]
+    assert speedups == sorted(speedups)
+    for n_nodes, row in by_nodes.items():
+        benchmark.extra_info[f"speedup_{n_nodes}n"] = row[
+            "speedup_vs_1_node"
+        ]
+        benchmark.extra_info[f"local_hit_{n_nodes}n"] = row[
+            "local_hit_ratio"
+        ]
+
+
+def test_local_hit_ratio_with_ample_memory(benchmark):
+    """With per-node memory to spare, every hinted grant is local."""
+
+    def run():
+        return run_one(4, total_faults=1024)
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row["local_hit_ratio"] == 1.0
+    assert row["remote_grant_pages"] == 0
+    assert row["numa_remote_pages"] == 0
+
+
+def test_grants_spill_remote_under_node_pressure(benchmark):
+    """A node out of local frames borrows from its neighbours (counted)."""
+
+    def run():
+        # 8 MB machine, 2 nodes: node 0 holds 1024 frames; demand more
+        # than a node's worth from node 0 so the SPCM must loan from
+        # node 1
+        from repro import build_system
+        from repro.managers.base import GenericSegmentManager
+
+        system = build_system(memory_mb=8, n_nodes=2, manager_frames=64)
+        kernel, spcm = system.kernel, system.spcm
+        manager = GenericSegmentManager(
+            kernel, spcm, "greedy", initial_frames=0, home_node=0
+        )
+        n_pages = 1100  # > one node's 1024 frames
+        seg = kernel.create_segment(n_pages, name="greedy.seg", manager=manager)
+        for page in range(n_pages):
+            kernel.reference(seg, page * kernel.memory.page_size)
+        return spcm
+
+    spcm = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert spcm.remote_grant_pages > 0
+    assert spcm.local_hit_ratio() < 1.0
+    assert spcm.arbiter.loans_brokered > 0
+    benchmark.extra_info["local_hit"] = round(spcm.local_hit_ratio(), 3)
+    benchmark.extra_info["loans"] = spcm.arbiter.loans_brokered

@@ -15,6 +15,7 @@ Run:  python examples/quickstart.py
 
 from repro import build_system
 from repro.core import FaultTrace, PageFlags, describe_flags
+from repro.core.api import GetPageAttributesRequest
 from repro.managers import GenericSegmentManager
 
 
@@ -55,7 +56,8 @@ def main() -> None:
 
     # --- the paper's new kernel operations ------------------------------
     print("\n== GetPageAttributes(app.heap, 0, 8) ==")
-    for attr in kernel.get_page_attributes(heap, 0, 8):
+    reply = kernel.get_page_attributes(GetPageAttributesRequest(heap, 0, 8))
+    for attr in reply.attributes:
         if attr.present:
             print(f"  page {attr.page}: pfn={attr.pfn} "
                   f"phys={attr.phys_addr:#09x} "

@@ -70,6 +70,7 @@ def build_system(
     tracer: "Tracer | NullTracer | None" = None,
     metrics: MetricsRegistry | None = None,
     injector: "object | None" = None,
+    n_nodes: int | None = None,
 ) -> System:
     """Boot a complete V++ system the way the paper describes:
 
@@ -82,6 +83,10 @@ def build_system(
     returned system's :class:`~repro.obs.MetricsRegistry` is pre-bound to
     every component's existing accounting (cost meter, kernel stats, TLB,
     disk, SPCM, default manager).
+
+    ``n_nodes`` splits physical memory over that many NUMA nodes (DASH
+    style, paper S1): the kernel becomes placement-aware and the SPCM
+    runs one shard per node.  ``None`` boots the flat UMA machine.
     """
     from repro.managers.default_manager import DefaultSegmentManager
     from repro.spcm.spcm import SystemPageCacheManager
@@ -90,7 +95,17 @@ def build_system(
         tracer = get_global_tracer()
     psize = page_size if page_size is not None else costs.page_size
     memory = PhysicalMemory(memory_mb * 1024 * 1024, page_size=psize)
-    kernel = Kernel(memory, costs=costs, tracer=tracer)
+    topology = None
+    if n_nodes is not None:
+        from repro.hw.numa import NumaTopology
+
+        topology = NumaTopology.for_memory(
+            memory,
+            n_nodes,
+            local_access_us=costs.numa_local_access_us,
+            remote_access_us=costs.numa_remote_access_us,
+        )
+    kernel = Kernel(memory, costs=costs, tracer=tracer, topology=topology)
     disk = Disk(costs, block_size=psize)
     disk.tracer = tracer
     file_server = FileServer(kernel, disk)

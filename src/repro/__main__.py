@@ -5,14 +5,16 @@ subcommand (``python -m repro trace figure2|table1``) instead runs one
 experiment under the tracer and prints its fault-path profile (see
 :mod:`repro.obs.cli`); the ``chaos`` subcommand (``python -m repro chaos
 <scenario>``) runs seeded fault-injection schedules with the system-wide
-invariant checker on (see :mod:`repro.chaos.cli`).
+invariant checker on (see :mod:`repro.chaos.cli`); the ``bench numa``
+subcommand sweeps the NUMA node counts over sharded SPCMs and writes
+``BENCH_numa_scaleout.json`` (see :mod:`repro.analysis.numa_scaleout`).
 """
 
 import sys
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch ``trace``/``chaos`` to their CLIs, else run the report."""
+    """Dispatch ``trace``/``chaos``/``bench`` to their CLIs, else report."""
     args = sys.argv[1:] if argv is None else argv
     if args and args[0] == "trace":
         from repro.obs.cli import main as trace_main
@@ -22,6 +24,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.cli import main as chaos_main
 
         return chaos_main(args[1:])
+    if args and args[0] == "bench":
+        if len(args) < 2 or args[1] != "numa":
+            print("usage: python -m repro bench numa [options]")
+            return 2
+        from repro.analysis.numa_scaleout import main as numa_main
+
+        return numa_main(args[2:])
     from repro.analysis.report import main as report_main
 
     return report_main(args) or 0

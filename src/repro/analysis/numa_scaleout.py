@@ -1,0 +1,184 @@
+"""NUMA scale-out experiment: sharded SPCMs over the DASH topology.
+
+The paper motivates placement control with DASH's distributed physical
+memory (S1).  This experiment takes the next step the design implies:
+with one SPCM shard per node, fault service on different nodes proceeds
+independently, so aggregate fault-service throughput should scale with
+the node count as long as grants stay node-local.
+
+The sweep boots the same machine as 1, 2, 4 and 8 NUMA nodes, runs one
+node-homed segment manager per node, and drives an identical machine-wide
+fault load in round-robin batches.  Per-node service time is metered
+(nodes are modelled as running in parallel, so completion time is the
+busiest node's time) and the SPCM reports what fraction of
+placement-hinted grants were served from the home node.
+
+``python -m repro bench numa`` writes the result as
+``BENCH_numa_scaleout.json``; CI gates on the 4-node speedup.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import build_system
+from repro.managers.base import GenericSegmentManager
+
+#: node counts the sweep boots (memory_mb must divide by each)
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8)
+
+
+def run_one(
+    n_nodes: int,
+    memory_mb: int = 32,
+    total_faults: int = 2048,
+    batch_pages: int = 32,
+) -> dict:
+    """Serve ``total_faults`` spread over ``n_nodes`` node-homed managers.
+
+    Returns one result row: per-node busy time, modelled completion time
+    (the busiest node), aggregate throughput, and the SPCM's locality and
+    batching counters.
+    """
+    system = build_system(
+        memory_mb=memory_mb, n_nodes=n_nodes, manager_frames=256
+    )
+    kernel, spcm = system.kernel, system.spcm
+    faults_per_node = total_faults // n_nodes
+    segments = []
+    for node in range(n_nodes):
+        manager = GenericSegmentManager(
+            kernel,
+            spcm,
+            f"bench-node{node}",
+            initial_frames=0,
+            home_node=node,
+        )
+        segments.append(
+            kernel.create_segment(
+                faults_per_node, name=f"bench.n{node}", manager=manager
+            )
+        )
+    busy = [0.0] * n_nodes
+    page_size = kernel.memory.page_size
+    page = 0
+    # round-robin batches model the nodes faulting concurrently; each
+    # node's meter delta is its own service time
+    while page < faults_per_node:
+        upper = min(page + batch_pages, faults_per_node)
+        for node in range(n_nodes):
+            before = kernel.meter.total_us
+            for p in range(page, upper):
+                kernel.reference(segments[node], p * page_size)
+            busy[node] += kernel.meter.total_us - before
+        page = upper
+    completion_us = max(busy) if busy else 0.0
+    served = faults_per_node * n_nodes
+    throughput = served / completion_us * 1e6 if completion_us else 0.0
+    stats = kernel.stats
+    return {
+        "n_nodes": n_nodes,
+        "faults_served": served,
+        "node_busy_us": [round(b, 1) for b in busy],
+        "completion_us": round(completion_us, 1),
+        "throughput_faults_per_s": round(throughput, 1),
+        "local_hit_ratio": round(spcm.local_hit_ratio(), 4),
+        "local_grant_pages": spcm.local_grant_pages,
+        "remote_grant_pages": spcm.remote_grant_pages,
+        "numa_local_pages": stats.numa_local_pages,
+        "numa_remote_pages": stats.numa_remote_pages,
+        "migrate_batches": stats.migrate_batches,
+    }
+
+
+def run_scaleout(
+    node_counts: tuple[int, ...] = DEFAULT_NODE_COUNTS,
+    memory_mb: int = 32,
+    total_faults: int = 2048,
+    batch_pages: int = 32,
+) -> dict:
+    """Sweep the node counts; returns the full report dict.
+
+    Each row carries ``speedup_vs_1_node`` relative to the first (single
+    node) configuration's throughput.
+    """
+    results = []
+    base_throughput: float | None = None
+    for n_nodes in node_counts:
+        row = run_one(
+            n_nodes,
+            memory_mb=memory_mb,
+            total_faults=total_faults,
+            batch_pages=batch_pages,
+        )
+        if base_throughput is None:
+            base_throughput = row["throughput_faults_per_s"] or 1.0
+        row["speedup_vs_1_node"] = round(
+            row["throughput_faults_per_s"] / base_throughput, 3
+        )
+        results.append(row)
+    return {
+        "experiment": "numa_scaleout",
+        "memory_mb": memory_mb,
+        "total_faults": total_faults,
+        "node_counts": list(node_counts),
+        "results": results,
+    }
+
+
+def write_report(
+    path: str = "BENCH_numa_scaleout.json", **kwargs
+) -> dict:
+    """Run the sweep and write the JSON report; returns the report."""
+    report = run_scaleout(**kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI for ``python -m repro bench numa``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench numa",
+        description="NUMA scale-out sweep over sharded SPCMs",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_numa_scaleout.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--memory-mb", type=int, default=32, help="machine memory size"
+    )
+    parser.add_argument(
+        "--faults",
+        type=int,
+        default=2048,
+        help="machine-wide fault count per configuration",
+    )
+    parser.add_argument(
+        "--nodes",
+        default=",".join(str(n) for n in DEFAULT_NODE_COUNTS),
+        help="comma-separated node counts to sweep",
+    )
+    args = parser.parse_args(argv)
+    node_counts = tuple(int(n) for n in args.nodes.split(","))
+    report = write_report(
+        args.output,
+        node_counts=node_counts,
+        memory_mb=args.memory_mb,
+        total_faults=args.faults,
+    )
+    print(f"numa scale-out ({args.memory_mb} MB, {args.faults} faults):")
+    for row in report["results"]:
+        print(
+            f"  {row['n_nodes']} node(s): "
+            f"{row['throughput_faults_per_s']:>12.1f} faults/s  "
+            f"speedup {row['speedup_vs_1_node']:>6.2f}x  "
+            f"local-hit {row['local_hit_ratio']:.2%}"
+        )
+    print(f"wrote {args.output}")
+    return 0

@@ -43,6 +43,13 @@ def main(argv: list[str] | None = None) -> int:
         help="number of seeded schedules to run (default 10)",
     )
     parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="shard the SPCM over this many NUMA nodes (arms the "
+        "per-shard conservation invariant)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -57,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
     for i in range(args.schedules):
         seed = args.seed + i
         try:
-            result = run_schedule(args.scenario, seed)
+            result = run_schedule(args.scenario, seed, n_nodes=args.nodes)
         except InvariantViolationError as exc:
             failures += 1
             print(f"seed {seed:>4}: INVARIANT VIOLATION: {exc}")

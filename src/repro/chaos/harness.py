@@ -79,10 +79,12 @@ class ChaosResult:
 # ---------------------------------------------------------------------------
 
 
-def _build(tracer=None):
+def _build(tracer=None, n_nodes=None):
     from repro import build_system
 
-    return build_system(memory_mb=4, manager_frames=64, tracer=tracer)
+    return build_system(
+        memory_mb=4, manager_frames=64, tracer=tracer, n_nodes=n_nodes
+    )
 
 
 def _make_victim(system):
@@ -337,6 +339,7 @@ def run_schedule(
     seed: int = 0,
     plan: ChaosPlan | None = None,
     tracer=None,
+    n_nodes: int | None = None,
 ) -> ChaosResult:
     """Run one seeded fault schedule of ``scenario``.
 
@@ -344,6 +347,8 @@ def run_schedule(
     the workload; an :class:`InvariantViolationError` propagates (it is a
     test failure, not a survivable fault).  Any other
     :class:`~repro.errors.ReproError` is recorded on the result.
+    ``n_nodes`` shards the SPCM over that many NUMA nodes, which arms the
+    per-shard frame-conservation invariant as well.
     """
     spec = SCENARIOS.get(scenario)
     if spec is None:
@@ -355,7 +360,7 @@ def run_schedule(
     if spec.workload == "dbms":
         return _run_dbms(effective)
 
-    system = _build(tracer=tracer)
+    system = _build(tracer=tracer, n_nodes=n_nodes)
     injector = Injector(effective, tracer=system.tracer)
     injector.install(system)
     checker = InvariantChecker(system.kernel)
@@ -377,7 +382,13 @@ def run_schedule(
 
 
 def run_seed_matrix(
-    scenario: str, seeds, plan: ChaosPlan | None = None
+    scenario: str,
+    seeds,
+    plan: ChaosPlan | None = None,
+    n_nodes: int | None = None,
 ) -> list[ChaosResult]:
     """Run ``scenario`` across ``seeds``; returns one result per seed."""
-    return [run_schedule(scenario, seed, plan=plan) for seed in seeds]
+    return [
+        run_schedule(scenario, seed, plan=plan, n_nodes=n_nodes)
+        for seed in seeds
+    ]

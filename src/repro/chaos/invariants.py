@@ -8,9 +8,16 @@ The invariants are the correctness claims the paper's design rests on:
   ownership-transfer mechanism is what makes this checkable at all.
 * **SPCM accounting** --- the SPCM free list names only genuinely free
   boot-segment pages, and per-account holding counts are non-negative.
-* **Market conservation** --- drams are conserved: account balances plus
-  the system sink sum to zero, and each account's balance equals its
-  income minus its charges.
+* **Market conservation** --- drams are conserved: each shard market's
+  balances plus its system sink sum to the net drams the arbiter
+  transferred in, those transfers sum to zero across the machine, and
+  each account's balance equals its income minus its charges plus its
+  transfers.
+* **Shard conservation** --- on a sharded (NUMA) SPCM, every node's
+  frames are fully accounted: frames physically on the node equal the
+  node's free frames plus the frames its shard has granted out plus the
+  frames retired there.  A manager crash on one node must not leak
+  frames into another node's books.
 * **Translation coherence** --- every cached TLB / page-table entry maps
   to the frame the segment structures resolve to, and writable entries
   imply write permission.
@@ -57,6 +64,7 @@ class InvariantChecker:
         violations: list[str] = []
         self._check_frames(violations)
         self._check_spcm(violations)
+        self._check_shards(violations)
         self._check_translations(violations)
         self._check_bindings(violations)
         self._check_market(violations)
@@ -144,6 +152,43 @@ class InvariantChecker:
                     f"SPCM holds negative frame count for {account}: {held}"
                 )
 
+    # -- per-shard frame conservation ----------------------------------------
+
+    def _check_shards(self, violations: list[str]) -> None:
+        spcm = self.spcm
+        if spcm is None or getattr(spcm, "n_shards", 1) <= 1:
+            return
+        totals = {shard.node: 0 for shard in spcm.shards}
+        for frame in self.kernel.memory.frames():
+            totals[spcm.shard_of(frame.phys_addr).node] += 1
+        free_by_node = {shard.node: 0 for shard in spcm.shards}
+        for size, free_pages in spcm._free.items():
+            boot = self.kernel.boot_segments.get(size)
+            if boot is None:
+                continue
+            for page in free_pages:
+                frame = boot.pages.get(page)
+                if frame is None:
+                    continue
+                free_by_node[spcm.shard_of(frame.phys_addr).node] += 1
+        for shard in spcm.shards:
+            for account, held in shard.frames_held.items():
+                if held < 0:
+                    violations.append(
+                        f"shard {shard.node} holds negative frame count "
+                        f"for {account}: {held}"
+                    )
+            held = sum(shard.frames_held.values())
+            free = free_by_node[shard.node]
+            expected = totals[shard.node]
+            got = free + held + shard.retired_frames
+            if got != expected:
+                violations.append(
+                    f"shard {shard.node} does not conserve frames: "
+                    f"{free} free + {held} held + {shard.retired_frames} "
+                    f"retired = {got} != {expected} frames on node"
+                )
+
     # -- translation coherence ---------------------------------------------
 
     def _check_translations(self, violations: list[str]) -> None:
@@ -228,23 +273,36 @@ class InvariantChecker:
     # -- market conservation -----------------------------------------------
 
     def _check_market(self, violations: list[str]) -> None:
-        market = self.market
-        if market is None:
+        markets = list(getattr(self.spcm, "markets", []) or [])
+        if not markets and self.market is not None:
+            markets = [self.market]
+        if not markets:
             return
-        total = market.total_drams()
-        if abs(total) > self.dram_tolerance:
-            violations.append(
-                f"market does not conserve drams: total {total!r} != 0"
-            )
-        for name, account in market.accounts.items():
-            expected = (
-                account.total_income
-                - account.total_memory_charges
-                - account.total_io_charges
-                - account.total_tax
-            )
-            if abs(account.balance - expected) > self.dram_tolerance:
+        net_transfer = 0.0
+        for i, market in enumerate(markets):
+            net_transfer += market.transfer_balance
+            total = market.total_drams()
+            if abs(total - market.transfer_balance) > self.dram_tolerance:
                 violations.append(
-                    f"account {name!r} balance {account.balance!r} != "
-                    f"income - charges - tax = {expected!r}"
+                    f"market {i} does not conserve drams: total {total!r} "
+                    f"!= net transfers {market.transfer_balance!r}"
                 )
+            for name, account in market.accounts.items():
+                expected = (
+                    account.total_income
+                    - account.total_memory_charges
+                    - account.total_io_charges
+                    - account.total_tax
+                    + account.total_transfers
+                )
+                if abs(account.balance - expected) > self.dram_tolerance:
+                    violations.append(
+                        f"market {i} account {name!r} balance "
+                        f"{account.balance!r} != income - charges - tax "
+                        f"+ transfers = {expected!r}"
+                    )
+        if abs(net_transfer) > self.dram_tolerance:
+            violations.append(
+                "arbiter transfers are not zero-sum across shard markets: "
+                f"net {net_transfer!r}"
+            )

@@ -1,0 +1,490 @@
+"""The versioned, typed kernel API facade (v2).
+
+The paper's four external page-cache management operations (S2.1) were
+originally exposed as keyword-argument methods on :class:`~repro.core.kernel.Kernel`.
+This module is the canonical call surface from API v2 on: each primitive
+takes a frozen *request* dataclass and returns a frozen *result*
+dataclass, so the call forms are versionable, serializable (for IPC-style
+manager processes) and carry the NUMA placement hints and batch statistics
+the sharded System Page Cache Manager needs.
+
+* :class:`MigratePagesRequest` / :class:`MigratePagesResult`
+* :class:`ModifyPageFlagsRequest` / :class:`ModifyPageFlagsResult`
+* :class:`GetPageAttributesRequest` / :class:`GetPageAttributesResult`
+* :class:`SetSegmentManagerRequest` / :class:`SetSegmentManagerResult`
+
+The same vocabulary covers the manager callback surface: the SPCM asks a
+manager for frames with a :class:`FrameDemand` and frames change hands as
+a :class:`FrameGrant`, whichever direction they travel (release, seizure,
+adoption).
+
+The old keyword-argument call forms keep working through deprecation
+shims on the kernel; each shim emits one :class:`DeprecationWarning` per
+process (per operation) and will be removed one release after v2.
+
+Requests reference segments by id (``Segment`` instances are accepted and
+coerced), so every request/result round-trips through
+:meth:`to_payload` / :meth:`from_payload` --- the property the facade
+tests assert.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable
+
+from repro.core.flags import PageFlags
+
+#: Facade version: (major, minor).  Major bumps may drop deprecated call
+#: forms; the keyword shims introduced alongside v2 last exactly one
+#: release.
+API_VERSION = (2, 0)
+
+
+# ---------------------------------------------------------------------------
+# deprecation machinery for the legacy keyword call forms
+# ---------------------------------------------------------------------------
+
+_WARNED_OPS: set[str] = set()
+
+_REQUEST_CLASS_FOR_OP = {
+    "Kernel.migrate_pages": "MigratePagesRequest",
+    "Kernel.modify_page_flags": "ModifyPageFlagsRequest",
+    "Kernel.get_page_attributes": "GetPageAttributesRequest",
+    "Kernel.set_segment_manager": "SetSegmentManagerRequest",
+    "SegmentManager.release_frames": "FrameDemand",
+    "SegmentManager.on_frames_seized": "FrameGrant",
+}
+
+
+def warn_legacy_call(op: str) -> None:
+    """Emit the one-release deprecation warning for a legacy call form.
+
+    Each operation warns exactly once per process so hot fault paths do
+    not drown the warning filter; tests reset with
+    :func:`reset_legacy_warnings`.
+    """
+    if op in _WARNED_OPS:
+        return
+    _WARNED_OPS.add(op)
+    replacement = _REQUEST_CLASS_FOR_OP.get(op, "request dataclass")
+    warnings.warn(
+        f"{op}: keyword-argument call form is deprecated since API v2 "
+        f"and will be removed next release; pass a "
+        f"repro.core.api.{replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Forget which legacy call forms already warned (test support)."""
+    _WARNED_OPS.clear()
+
+
+def _seg_id(value: Any) -> int:
+    """Coerce a ``Segment`` (or anything with ``seg_id``) to its id."""
+    seg_id = getattr(value, "seg_id", value)
+    if not isinstance(seg_id, int):
+        raise TypeError(f"expected a segment or segment id, got {value!r}")
+    return seg_id
+
+
+# ---------------------------------------------------------------------------
+# page attributes (the GetPageAttributes payload element)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PageAttribute:
+    """One entry of a ``GetPageAttributes`` result."""
+
+    page: int
+    present: bool
+    flags: PageFlags
+    pfn: int | None
+    phys_addr: int | None
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "page": self.page,
+            "present": self.present,
+            "flags": int(self.flags),
+            "pfn": self.pfn,
+            "phys_addr": self.phys_addr,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "PageAttribute":
+        return cls(
+            page=payload["page"],
+            present=payload["present"],
+            flags=PageFlags(payload["flags"]),
+            pfn=payload["pfn"],
+            phys_addr=payload["phys_addr"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# batch statistics (returned with every MigratePages result)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """What one (possibly batched) ``MigratePages`` actually did.
+
+    ``local_pages`` / ``remote_pages`` are only split when the kernel has
+    a NUMA topology and the request carried a ``home_node`` hint;
+    otherwise every page counts as local.
+    """
+
+    n_calls: int = 1
+    n_pages: int = 0
+    zero_fills: int = 0
+    cow_copies: int = 0
+    local_pages: int = 0
+    remote_pages: int = 0
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "BatchStats":
+        return cls(**payload)
+
+    def merged(self, other: "BatchStats") -> "BatchStats":
+        """Combine statistics of two batches into one."""
+        return BatchStats(
+            n_calls=self.n_calls + other.n_calls,
+            n_pages=self.n_pages + other.n_pages,
+            zero_fills=self.zero_fills + other.zero_fills,
+            cow_copies=self.cow_copies + other.cow_copies,
+            local_pages=self.local_pages + other.local_pages,
+            remote_pages=self.remote_pages + other.remote_pages,
+        )
+
+
+# ---------------------------------------------------------------------------
+# the four primitives
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigratePagesRequest:
+    """``MigratePages(src, dst, src_page, dst_page, n_pages, ...)``.
+
+    ``home_node`` is a placement hint: the node the destination's pages
+    are expected to be accessed from.  A NUMA-aware kernel uses it to
+    split the per-page local/remote counts and charge the DASH-style
+    remote-access penalty for frames landing off-node.
+    """
+
+    src: int
+    dst: int
+    src_page: int
+    dst_page: int
+    n_pages: int = 1
+    set_flags: PageFlags = PageFlags.NONE
+    clear_flags: PageFlags = PageFlags.NONE
+    home_node: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", _seg_id(self.src))
+        object.__setattr__(self, "dst", _seg_id(self.dst))
+        object.__setattr__(self, "set_flags", PageFlags(self.set_flags))
+        object.__setattr__(self, "clear_flags", PageFlags(self.clear_flags))
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "src_page": self.src_page,
+            "dst_page": self.dst_page,
+            "n_pages": self.n_pages,
+            "set_flags": int(self.set_flags),
+            "clear_flags": int(self.clear_flags),
+            "home_node": self.home_node,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "MigratePagesRequest":
+        return cls(
+            src=payload["src"],
+            dst=payload["dst"],
+            src_page=payload["src_page"],
+            dst_page=payload["dst_page"],
+            n_pages=payload["n_pages"],
+            set_flags=PageFlags(payload["set_flags"]),
+            clear_flags=PageFlags(payload["clear_flags"]),
+            home_node=payload["home_node"],
+        )
+
+
+@dataclass(frozen=True)
+class MigratePagesResult:
+    """Frames moved by one ``MigratePages`` (or one batch of them)."""
+
+    moved_pfns: tuple[int, ...]
+    batch: BatchStats = field(default_factory=BatchStats)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.moved_pfns)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "moved_pfns": list(self.moved_pfns),
+            "batch": self.batch.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "MigratePagesResult":
+        return cls(
+            moved_pfns=tuple(payload["moved_pfns"]),
+            batch=BatchStats.from_payload(payload["batch"]),
+        )
+
+
+@dataclass(frozen=True)
+class ModifyPageFlagsRequest:
+    """``ModifyPageFlags(seg, page, n_pages, set, clear)``."""
+
+    segment: int
+    page: int
+    n_pages: int = 1
+    set_flags: PageFlags = PageFlags.NONE
+    clear_flags: PageFlags = PageFlags.NONE
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "segment", _seg_id(self.segment))
+        object.__setattr__(self, "set_flags", PageFlags(self.set_flags))
+        object.__setattr__(self, "clear_flags", PageFlags(self.clear_flags))
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "segment": self.segment,
+            "page": self.page,
+            "n_pages": self.n_pages,
+            "set_flags": int(self.set_flags),
+            "clear_flags": int(self.clear_flags),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ModifyPageFlagsRequest":
+        return cls(
+            segment=payload["segment"],
+            page=payload["page"],
+            n_pages=payload["n_pages"],
+            set_flags=PageFlags(payload["set_flags"]),
+            clear_flags=PageFlags(payload["clear_flags"]),
+        )
+
+
+@dataclass(frozen=True)
+class ModifyPageFlagsResult:
+    """How many present pages one ``ModifyPageFlags`` touched."""
+
+    modified: int
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {"modified": self.modified}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ModifyPageFlagsResult":
+        return cls(modified=payload["modified"])
+
+
+@dataclass(frozen=True)
+class GetPageAttributesRequest:
+    """``GetPageAttributes(seg, page, n_pages)``."""
+
+    segment: int
+    page: int
+    n_pages: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "segment", _seg_id(self.segment))
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "segment": self.segment,
+            "page": self.page,
+            "n_pages": self.n_pages,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any]
+    ) -> "GetPageAttributesRequest":
+        return cls(
+            segment=payload["segment"],
+            page=payload["page"],
+            n_pages=payload["n_pages"],
+        )
+
+
+@dataclass(frozen=True)
+class GetPageAttributesResult:
+    """Per-page attributes, physical addresses included (S1)."""
+
+    attributes: tuple[PageAttribute, ...]
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {"attributes": [a.to_payload() for a in self.attributes]}
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any]
+    ) -> "GetPageAttributesResult":
+        return cls(
+            attributes=tuple(
+                PageAttribute.from_payload(a) for a in payload["attributes"]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class SetSegmentManagerRequest:
+    """``SetSegmentManager(seg, manager)``.
+
+    ``manager`` is the live manager object; the payload form carries its
+    name, and :meth:`from_payload` takes a resolver because manager
+    processes are addressed by name on the wire.
+    """
+
+    segment: int
+    manager: Any
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "segment", _seg_id(self.segment))
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {"segment": self.segment, "manager": self.manager.name}
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict[str, Any],
+        resolve_manager: Callable[[str], Any],
+    ) -> "SetSegmentManagerRequest":
+        return cls(
+            segment=payload["segment"],
+            manager=resolve_manager(payload["manager"]),
+        )
+
+
+@dataclass(frozen=True)
+class SetSegmentManagerResult:
+    """The manager the segment had before (by name; None if unmanaged)."""
+
+    previous_manager: str | None
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {"previous_manager": self.previous_manager}
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any]
+    ) -> "SetSegmentManagerResult":
+        return cls(previous_manager=payload["previous_manager"])
+
+
+# ---------------------------------------------------------------------------
+# the manager callback vocabulary (shared with the SPCM)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrameDemand:
+    """The SPCM (or arbiter) asking a manager for frames back.
+
+    ``node`` narrows the demand to frames homed on one NUMA node (the
+    arbiter reclaiming a loan); ``None`` means any frames will do.
+    """
+
+    n_frames: int
+    node: int | None = None
+    reason: str = "pressure"
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 0:
+            raise ValueError("cannot demand a negative number of frames")
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "n_frames": self.n_frames,
+            "node": self.node,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FrameDemand":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FrameGrant:
+    """Frames changing hands, named by free-segment page index.
+
+    The single currency of the callback surface: what a manager
+    surrenders under pressure (``release_frames``), what the SPCM seizes
+    from a failed manager (``on_frames_seized``), and what an adopter
+    indexes during failover (``adopt_segment``).
+    """
+
+    pages: tuple[int, ...] = ()
+    node: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pages", tuple(self.pages))
+
+    @classmethod
+    def empty(cls) -> "FrameGrant":
+        return cls(())
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.pages)
+
+    def __bool__(self) -> bool:
+        return bool(self.pages)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {"pages": list(self.pages), "node": self.node}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FrameGrant":
+        return cls(pages=tuple(payload["pages"]), node=payload["node"])
+
+
+__all__ = [
+    "API_VERSION",
+    "BatchStats",
+    "FrameDemand",
+    "FrameGrant",
+    "GetPageAttributesRequest",
+    "GetPageAttributesResult",
+    "MigratePagesRequest",
+    "MigratePagesResult",
+    "ModifyPageFlagsRequest",
+    "ModifyPageFlagsResult",
+    "PageAttribute",
+    "SetSegmentManagerRequest",
+    "SetSegmentManagerResult",
+    "reset_legacy_warnings",
+    "warn_legacy_call",
+]

@@ -26,6 +26,19 @@ from dataclasses import dataclass, field
 
 from repro.chaos.injector import NULL_INJECTOR
 from repro.chaos.plan import IPCFailureMode, ManagerFailureMode
+from repro.core.api import (
+    BatchStats,
+    GetPageAttributesRequest,
+    GetPageAttributesResult,
+    MigratePagesRequest,
+    MigratePagesResult,
+    ModifyPageFlagsRequest,
+    ModifyPageFlagsResult,
+    PageAttribute,
+    SetSegmentManagerRequest,
+    SetSegmentManagerResult,
+    warn_legacy_call,
+)
 from repro.core.faults import FaultKind, FaultTrace, PageFault
 from repro.core.flags import MANAGER_SETTABLE, PageFlags
 from repro.core.manager_api import InvocationMode, SegmentManager
@@ -39,10 +52,13 @@ from repro.errors import (
     UnresolvedFaultError,
 )
 from repro.hw.costs import DECSTATION_5000_200, CostMeter, MachineCosts
+from repro.hw.numa import NumaTopology
 from repro.hw.page_table import GlobalHashPageTable, Translation
 from repro.hw.phys_mem import PageFrame, PhysicalMemory
 from repro.hw.tlb import TLB
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["Kernel", "KernelStats", "PageAttribute"]
 
 #: Maximum times a single reference retries after fault handling before the
 #: kernel declares the fault unresolvable.
@@ -58,17 +74,6 @@ FAILOVER_AFTER_ATTEMPTS = 4
 IPC_MAX_REDELIVERIES = 3
 
 
-@dataclass(frozen=True)
-class PageAttribute:
-    """One entry of a ``GetPageAttributes`` result."""
-
-    page: int
-    present: bool
-    flags: PageFlags
-    pfn: int | None
-    phys_addr: int | None
-
-
 @dataclass
 class KernelStats:
     """Counters the evaluation section reads."""
@@ -77,7 +82,10 @@ class KernelStats:
     faults: int = 0
     faults_by_kind: dict[str, int] = field(default_factory=dict)
     migrate_calls: int = 0
+    migrate_batches: int = 0
     pages_migrated: int = 0
+    numa_local_pages: int = 0
+    numa_remote_pages: int = 0
     modify_flags_calls: int = 0
     get_attributes_calls: int = 0
     set_manager_calls: int = 0
@@ -104,7 +112,10 @@ class KernelStats:
             "references": float(self.references),
             "faults": float(self.faults),
             "migrate_calls": float(self.migrate_calls),
+            "migrate_batches": float(self.migrate_batches),
             "pages_migrated": float(self.pages_migrated),
+            "numa_local_pages": float(self.numa_local_pages),
+            "numa_remote_pages": float(self.numa_remote_pages),
             "modify_flags_calls": float(self.modify_flags_calls),
             "get_attributes_calls": float(self.get_attributes_calls),
             "set_manager_calls": float(self.set_manager_calls),
@@ -150,9 +161,16 @@ class Kernel:
         tlb: TLB | None = None,
         page_table: GlobalHashPageTable | None = None,
         tracer: Tracer | NullTracer = NULL_TRACER,
+        topology: NumaTopology | None = None,
     ) -> None:
         self.memory = memory
         self.costs = costs
+        #: NUMA topology of the machine (None models flat UMA memory);
+        #: validated against the physical memory at construction so a
+        #: mismatched node_bytes cannot survive to the first remote access
+        if topology is not None:
+            topology.validate_for(memory)
+        self.topology = topology
         self.meter = meter if meter is not None else CostMeter()
         self.tlb = tlb if tlb is not None else TLB()
         self.page_table = (
@@ -242,7 +260,7 @@ class Kernel:
         self._next_seg_id += 1
         self._segments[segment.seg_id] = segment
         if manager is not None:
-            self.set_segment_manager(segment, manager)
+            self._set_segment_manager(segment, manager)
         return segment
 
     def segment(self, seg_id: int) -> Segment:
@@ -288,7 +306,9 @@ class Kernel:
             for page in sorted(segment.pages):
                 dst = boot.n_pages
                 boot.grow(1)
-                self.migrate_pages(segment, boot, page, dst, 1)
+                self.migrate_pages(
+                    MigratePagesRequest(segment.seg_id, boot.seg_id, page, dst)
+                )
         segment.deleted = True
         del self._segments[segment.seg_id]
         self.tlb.flush_space(segment.seg_id)
@@ -311,9 +331,38 @@ class Kernel:
             self.tracer.event(actor, action, cost_us)
 
     def set_segment_manager(
+        self,
+        segment: Segment | SetSegmentManagerRequest,
+        manager: SegmentManager | None = None,
+    ) -> SetSegmentManagerResult | None:
+        """``SetSegmentManager(seg, manager)``.
+
+        Canonical form (API v2): pass a
+        :class:`~repro.core.api.SetSegmentManagerRequest`; returns a
+        :class:`~repro.core.api.SetSegmentManagerResult` naming the
+        previous manager.  The ``(segment, manager)`` keyword form is
+        deprecated (one release) and returns ``None`` as it always did.
+        """
+        if isinstance(segment, SetSegmentManagerRequest):
+            if manager is not None:
+                raise TypeError(
+                    "pass either a SetSegmentManagerRequest or the legacy "
+                    "(segment, manager) pair, not both"
+                )
+            previous = self._set_segment_manager(
+                self.segment(segment.segment), segment.manager
+            )
+            return SetSegmentManagerResult(previous)
+        if manager is None:
+            raise TypeError("legacy call form requires a manager")
+        warn_legacy_call("Kernel.set_segment_manager")
+        self._set_segment_manager(segment, manager)
+        return None
+
+    def _set_segment_manager(
         self, segment: Segment, manager: SegmentManager
-    ) -> None:
-        """``SetSegmentManager(seg, manager)``."""
+    ) -> str | None:
+        """Reassign a segment's manager; returns the previous one's name."""
         if self.tracer.enabled:
             self.tracer.event(
                 "kernel",
@@ -322,22 +371,32 @@ class Kernel:
             )
         self.meter.charge("set_manager", self.costs.vpp_set_manager_call)
         self.stats.set_manager_calls += 1
+        previous = segment.manager.name if segment.manager is not None else None
         if segment.manager is not None:
             segment.manager.managed.discard(segment.seg_id)
         segment.manager = manager
         manager.managed.add(segment.seg_id)
+        return previous
 
     def migrate_pages(
         self,
-        src: Segment,
-        dst: Segment,
-        src_page: int,
-        dst_page: int,
+        src: Segment | MigratePagesRequest,
+        dst: Segment | None = None,
+        src_page: int = 0,
+        dst_page: int = 0,
         n_pages: int = 1,
         set_flags: PageFlags = PageFlags.NONE,
         clear_flags: PageFlags = PageFlags.NONE,
-    ) -> list[PageFrame]:
+    ) -> MigratePagesResult | list[PageFrame]:
         """``MigratePages``: move frames from ``src`` to ``dst``.
+
+        Canonical form (API v2): pass a
+        :class:`~repro.core.api.MigratePagesRequest`; returns a
+        :class:`~repro.core.api.MigratePagesResult` with the moved pfns
+        and batch statistics (a ``home_node`` hint splits the pages into
+        local/remote and charges the DASH remote penalty for off-node
+        frames).  The keyword call form is deprecated (one release) and
+        still returns the moved :class:`PageFrame` list.
 
         Migration is the *only* way frames change segments, which is what
         makes the frame-conservation invariant checkable.  Migrating into a
@@ -354,21 +413,121 @@ class Kernel:
         migrates it to the bound segment.  The whole page range must lie
         within one binding (or none).
         """
+        if isinstance(src, MigratePagesRequest):
+            if dst is not None:
+                raise TypeError(
+                    "pass either a MigratePagesRequest or the legacy "
+                    "argument list, not both"
+                )
+            moved, batch = self._migrate_request(src)
+            return MigratePagesResult(
+                tuple(frame.pfn for frame in moved), batch
+            )
+        if dst is None:
+            raise TypeError("legacy call form requires a destination")
+        warn_legacy_call("Kernel.migrate_pages")
+        request = MigratePagesRequest(
+            src, dst, src_page, dst_page, n_pages, set_flags, clear_flags
+        )
+        moved, _ = self._migrate_request(request)
+        return moved
+
+    def migrate_pages_batch(
+        self, requests: list[MigratePagesRequest] | tuple[MigratePagesRequest, ...]
+    ) -> MigratePagesResult:
+        """Several ``MigratePages`` runs in one kernel entry (API v2).
+
+        The first run is charged the full ``vpp_migrate_call``;
+        subsequent runs only the marginal ``vpp_migrate_batch_extra`` ---
+        the batch crosses into the kernel once, the way the paper
+        amortizes batched ``MigratePages``.  The sharded SPCM uses this
+        to group per-node frame grabs into one shard transaction.
+        """
+        requests = list(requests)
+        if not requests:
+            return MigratePagesResult((), BatchStats(n_calls=0))
+        self.stats.migrate_batches += 1
+        moved_pfns: list[int] = []
+        batch: BatchStats | None = None
+        for i, request in enumerate(requests):
+            cost = (
+                self.costs.vpp_migrate_call
+                if i == 0
+                else self.costs.vpp_migrate_batch_extra
+            )
+            moved, stats = self._migrate_request(request, call_cost_us=cost)
+            moved_pfns.extend(frame.pfn for frame in moved)
+            batch = stats if batch is None else batch.merged(stats)
+        assert batch is not None
+        return MigratePagesResult(tuple(moved_pfns), batch)
+
+    def _migrate_request(
+        self,
+        request: MigratePagesRequest,
+        call_cost_us: float | None = None,
+    ) -> tuple[list[PageFrame], BatchStats]:
+        """Execute one migrate request; returns frames + batch stats."""
+        src = self.segment(request.src)
+        dst = self.segment(request.dst)
+        cost = (
+            self.costs.vpp_migrate_call if call_cost_us is None else call_cost_us
+        )
+        zero_before = self.stats.zero_fills
+        cow_before = self.stats.cow_copies
         if not self.tracer.enabled:
-            return self._migrate_pages(
-                src, dst, src_page, dst_page, n_pages, set_flags, clear_flags
+            moved = self._migrate_pages(
+                src,
+                dst,
+                request.src_page,
+                request.dst_page,
+                request.n_pages,
+                request.set_flags,
+                request.clear_flags,
+                cost,
             )
-        with self.tracer.span(
-            "kernel",
-            "MigratePages",
-            src=src.name,
-            dst=dst.name,
-            dst_page=dst_page,
-            n_pages=n_pages,
-        ):
-            return self._migrate_pages(
-                src, dst, src_page, dst_page, n_pages, set_flags, clear_flags
+        else:
+            with self.tracer.span(
+                "kernel",
+                "MigratePages",
+                src=src.name,
+                dst=dst.name,
+                dst_page=request.dst_page,
+                n_pages=request.n_pages,
+            ):
+                moved = self._migrate_pages(
+                    src,
+                    dst,
+                    request.src_page,
+                    request.dst_page,
+                    request.n_pages,
+                    request.set_flags,
+                    request.clear_flags,
+                    cost,
+                )
+        local = len(moved)
+        remote = 0
+        if self.topology is not None and request.home_node is not None:
+            local = sum(
+                1
+                for frame in moved
+                if self.topology.is_local(request.home_node, frame.phys_addr)
             )
+            remote = len(moved) - local
+            if remote:
+                penalty = self.costs.numa_remote_penalty_us * remote
+                if penalty > 0:
+                    self.meter.charge("numa_remote_placement", penalty)
+        self.stats.numa_local_pages += local
+        self.stats.numa_remote_pages += remote
+        batch = BatchStats(
+            n_calls=1,
+            n_pages=len(moved),
+            zero_fills=self.stats.zero_fills - zero_before,
+            cow_copies=self.stats.cow_copies - cow_before,
+            local_pages=local,
+            remote_pages=remote,
+        )
+        return moved, batch
 
     def _migrate_pages(
         self,
@@ -379,12 +538,18 @@ class Kernel:
         n_pages: int,
         set_flags: PageFlags,
         clear_flags: PageFlags,
+        call_cost_us: float | None = None,
     ) -> list[PageFrame]:
         src, src_page = self._through_bindings(src, src_page, n_pages)
         dst, dst_page = self._through_bindings(
             dst, dst_page, n_pages, allow_grow=True
         )
-        self.meter.charge("migrate_pages", self.costs.vpp_migrate_call)
+        self.meter.charge(
+            "migrate_pages",
+            self.costs.vpp_migrate_call
+            if call_cost_us is None
+            else call_cost_us,
+        )
         self.stats.migrate_calls += 1
         self.stats.note_migrate(
             self._attribution[-1] if self._attribution else None
@@ -459,19 +624,46 @@ class Kernel:
 
     def modify_page_flags(
         self,
-        segment: Segment,
-        page: int,
+        segment: Segment | ModifyPageFlagsRequest,
+        page: int = 0,
         n_pages: int = 1,
         set_flags: PageFlags = PageFlags.NONE,
         clear_flags: PageFlags = PageFlags.NONE,
-    ) -> int:
+    ) -> ModifyPageFlagsResult | int:
         """``ModifyPageFlags``: flag changes without migration.
 
-        Returns the number of present pages modified.  Reducing protection
+        Canonical form (API v2): pass a
+        :class:`~repro.core.api.ModifyPageFlagsRequest`; returns a
+        :class:`~repro.core.api.ModifyPageFlagsResult` with the number of
+        present pages modified.  The keyword form is deprecated (one
+        release) and still returns the bare count.  Reducing protection
         shoots down any cached translations so the next access re-enters
         the kernel --- this is how a manager arranges to see references
         (the clock algorithm) or writes.
         """
+        if isinstance(segment, ModifyPageFlagsRequest):
+            request = segment
+            modified = self._modify_page_flags(
+                self.segment(request.segment),
+                request.page,
+                request.n_pages,
+                request.set_flags,
+                request.clear_flags,
+            )
+            return ModifyPageFlagsResult(modified)
+        warn_legacy_call("Kernel.modify_page_flags")
+        return self._modify_page_flags(
+            segment, page, n_pages, set_flags, clear_flags
+        )
+
+    def _modify_page_flags(
+        self,
+        segment: Segment,
+        page: int,
+        n_pages: int,
+        set_flags: PageFlags,
+        clear_flags: PageFlags,
+    ) -> int:
         if self.tracer.enabled:
             self.tracer.event(
                 "kernel",
@@ -505,13 +697,34 @@ class Kernel:
         return modified
 
     def get_page_attributes(
-        self, segment: Segment, page: int, n_pages: int = 1
-    ) -> list[PageAttribute]:
+        self,
+        segment: Segment | GetPageAttributesRequest,
+        page: int = 0,
+        n_pages: int = 1,
+    ) -> GetPageAttributesResult | list[PageAttribute]:
         """``GetPageAttributes``: flags plus physical frame addresses.
+
+        Canonical form (API v2): pass a
+        :class:`~repro.core.api.GetPageAttributesRequest`; returns a
+        :class:`~repro.core.api.GetPageAttributesResult` with a tuple of
+        :class:`~repro.core.api.PageAttribute`.  The keyword form is
+        deprecated (one release) and still returns the bare list.
 
         Exposing the physical address is deliberate --- it is what lets an
         application implement page coloring and physical placement (S1).
         """
+        if isinstance(segment, GetPageAttributesRequest):
+            request = segment
+            attributes = self._get_page_attributes(
+                self.segment(request.segment), request.page, request.n_pages
+            )
+            return GetPageAttributesResult(tuple(attributes))
+        warn_legacy_call("Kernel.get_page_attributes")
+        return self._get_page_attributes(segment, page, n_pages)
+
+    def _get_page_attributes(
+        self, segment: Segment, page: int, n_pages: int
+    ) -> list[PageAttribute]:
         if self.tracer.enabled:
             self.tracer.event(
                 "kernel",
@@ -976,7 +1189,7 @@ class Kernel:
                 seg = self._segments.get(seg_id)
                 if seg is None:
                     continue
-                self.set_segment_manager(seg, fallback)
+                self._set_segment_manager(seg, fallback)
                 fallback.adopt_segment(seg)
             if self.spcm is not None:
                 self.spcm.seize_frames(manager)

@@ -24,6 +24,13 @@ from abc import ABC, abstractmethod
 from enum import Enum, auto
 from typing import TYPE_CHECKING
 
+from repro.core.api import (
+    FrameDemand,
+    FrameGrant,
+    SetSegmentManagerRequest,
+    warn_legacy_call,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.faults import PageFault
     from repro.core.kernel import Kernel
@@ -54,7 +61,7 @@ class SegmentManager(ABC):
 
     def manage(self, segment: "Segment") -> None:
         """Assume management of ``segment`` (a SetSegmentManager call)."""
-        self.kernel.set_segment_manager(segment, self)
+        self.kernel.set_segment_manager(SetSegmentManagerRequest(segment, self))
 
     # -- events the kernel delivers -----------------------------------------
 
@@ -73,21 +80,25 @@ class SegmentManager(ABC):
         page as resolved).
         """
 
-    def adopt_segment(self, segment: "Segment") -> None:
+    def adopt_segment(self, segment: "Segment") -> FrameGrant:
         """A failed manager's segment was reassigned here by the kernel.
 
-        Called after :meth:`~repro.core.kernel.Kernel.set_segment_manager`
-        during failover so the adopter can index the segment's resident
-        pages for its own reclaim policy.  Default: no bookkeeping.
+        Called after ``SetSegmentManager`` during failover so the adopter
+        can index the segment's resident pages for its own reclaim
+        policy.  Returns a :class:`~repro.core.api.FrameGrant` naming the
+        resident pages taken on (empty by default: no bookkeeping).
         """
+        return FrameGrant.empty()
 
-    def on_frames_seized(self, pages: list[int]) -> None:
+    def on_frames_seized(self, grant: "FrameGrant | list[int]") -> None:
         """The SPCM forcibly reclaimed these free-segment pages.
 
-        Unlike :meth:`release_frames` (a negotiation the manager controls),
-        seizure happens *to* the manager after the kernel declares it
-        failed; this hook lets it drop the seized pages from its free
-        lists.  Default: no bookkeeping.
+        The seizure arrives as a :class:`~repro.core.api.FrameGrant`
+        (frames travelling SPCM-ward; the bare page list is the
+        deprecated form).  Unlike :meth:`release_frames` (a negotiation
+        the manager controls), seizure happens *to* the manager after the
+        kernel declares it failed; this hook lets it drop the seized
+        pages from its free lists.  Default: no bookkeeping.
         """
 
     def segment_deleted(self, segment: "Segment") -> None:
@@ -97,10 +108,21 @@ class SegmentManager(ABC):
         sweeps whatever remains back to the boot segment.
         """
 
-    def release_frames(self, n_frames: int) -> int:
-        """The SPCM asks for up to ``n_frames`` back; return the count freed.
+    def release_frames(
+        self, demand: "FrameDemand | int"
+    ) -> "FrameGrant | int":
+        """The SPCM demands frames back; answer with what was surrendered.
+
+        The canonical exchange is typed both ways: a
+        :class:`~repro.core.api.FrameDemand` (how many, optionally from
+        which node) answered by a :class:`~repro.core.api.FrameGrant`
+        naming the surrendered free-segment pages.  The bare-int call
+        form is deprecated (one release) and still returns a bare count.
 
         The manager has "complete control over which page frames to
         surrender" (paper, S4); the default surrenders none.
         """
+        if isinstance(demand, FrameDemand):
+            return FrameGrant.empty()
+        warn_legacy_call("SegmentManager.release_frames")
         return 0

@@ -96,6 +96,20 @@ class MachineCosts:
     manager_timeout_us: float = 5000.0   # kernel per-fault manager timeout
     io_retry_backoff_us: float = 1000.0  # base backoff after transient I/O err
 
+    # --- NUMA / DASH distributed memory (paper S1) ------------------------
+    # DASH's remote:local access ratio was roughly 4:1; a frame placed off
+    # its home node is charged the difference per page at migration time.
+    numa_local_access_us: float = 0.1
+    numa_remote_access_us: float = 0.4
+    # marginal kernel cost of each MigratePages run after the first in one
+    # batched call (argument decode + translation work, no re-entry)
+    vpp_migrate_batch_extra: float = 8.0
+
+    @property
+    def numa_remote_penalty_us(self) -> float:
+        """Extra per-page cost of a frame landing off its home node."""
+        return self.numa_remote_access_us - self.numa_local_access_us
+
     def instructions_us(self, n_instructions: float) -> float:
         """Microseconds to execute ``n_instructions`` on one CPU."""
         return n_instructions / self.cpu_mips

@@ -47,12 +47,28 @@ class NumaTopology:
                 f"memory of {memory.size_bytes} bytes does not divide "
                 f"into {n_nodes} nodes"
             )
-        return cls(
+        topology = cls(
             n_nodes,
             memory.size_bytes // n_nodes,
             local_access_us,
             remote_access_us,
         )
+        topology.validate_for(memory)
+        return topology
+
+    def validate_for(self, memory: PhysicalMemory) -> None:
+        """Raise unless the node boundaries cover ``memory`` exactly.
+
+        Called wherever a topology is attached to a machine (kernel and
+        SPCM construction), so a mismatched ``node_bytes`` fails up front
+        instead of on the first remote access.
+        """
+        if self.total_bytes != memory.size_bytes:
+            raise HardwareError(
+                f"topology covers {self.total_bytes} bytes "
+                f"({self.n_nodes} x {self.node_bytes}) but the machine "
+                f"has {memory.size_bytes} bytes of physical memory"
+            )
 
     @property
     def total_bytes(self) -> int:
@@ -79,3 +95,7 @@ class NumaTopology:
     def is_local(self, accessor_node: int, phys_addr: int) -> bool:
         """True when ``phys_addr`` is on the accessor's own node."""
         return self.node_of(phys_addr) == accessor_node
+
+    def nodes(self) -> range:
+        """Node ids, in order."""
+        return range(self.n_nodes)

@@ -26,6 +26,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from repro.core.api import (
+    FrameDemand,
+    FrameGrant,
+    MigratePagesRequest,
+    ModifyPageFlagsRequest,
+    warn_legacy_call,
+)
 from repro.core.faults import FaultKind, PageFault
 from repro.core.flags import PageFlags
 from repro.core.manager_api import InvocationMode, SegmentManager
@@ -53,11 +60,15 @@ class GenericSegmentManager(SegmentManager):
         page_size: int | None = None,
         refill_batch: int = 32,
         reclaim_batch: int = 16,
+        home_node: int | None = None,
     ) -> None:
         super().__init__(kernel, name)
         self.spcm = spcm
         self.account = spcm.register_manager(self)
         self.page_size = page_size or kernel.memory.page_size
+        #: NUMA node this manager's workload runs on; frame requests are
+        #: hinted so the SPCM serves them local-first (None: no preference)
+        self.home_node = home_node
         self.refill_batch = refill_batch
         self.reclaim_batch = reclaim_batch
         self.free_segment = kernel.create_segment(
@@ -97,7 +108,12 @@ class GenericSegmentManager(SegmentManager):
         return len(self._free_slots) + len(self._resident)
 
     def request_frames(self, n_frames: int, **constraints) -> int:
-        """Ask the SPCM for frames into the free segment; returns count."""
+        """Ask the SPCM for frames into the free segment; returns count.
+
+        The manager's ``home_node`` rides along as the placement hint
+        unless the caller supplies its own.
+        """
+        constraints.setdefault("home_node", self.home_node)
         pages = self.spcm.request_frames(
             self,
             FrameRequest(
@@ -108,17 +124,39 @@ class GenericSegmentManager(SegmentManager):
         self._free_slots.extend(pages)
         return len(pages)
 
-    def return_frames(self, n_frames: int) -> int:
+    def return_frames(self, n_frames: int, node: int | None = None) -> int:
         """Give free frames back to the SPCM; returns count returned."""
+        return self._surrender_slots(n_frames, node).n_frames
+
+    def _surrender_slots(
+        self, n_frames: int, node: int | None = None
+    ) -> FrameGrant:
+        """Hand up to ``n_frames`` free slots back to the SPCM.
+
+        With a ``node`` preference (the arbiter reclaiming a cross-node
+        loan), slots whose frames live on that node are surrendered
+        first.
+        """
         n = min(n_frames, len(self._free_slots))
         if n == 0:
-            return 0
-        slots = [self._free_slots.pop() for _ in range(n)]
+            return FrameGrant.empty()
+        # newest slots go first (the historical LIFO order); a node
+        # preference pulls that node's frames ahead of the rest
+        candidates = list(reversed(self._free_slots))
+        topology = self.kernel.topology
+        if node is not None and topology is not None:
+            candidates.sort(
+                key=lambda slot: not topology.is_local(
+                    node, self.free_segment.pages[slot].phys_addr
+                )
+            )
+        slots = candidates[:n]
         for slot in slots:
+            self._free_slots.remove(slot)
             self._drop_stale(slot)
         self.spcm.return_frames(self, self.free_segment, slots)
         self._empty_slots.extend(slots)
-        return n
+        return FrameGrant(tuple(slots), node=node)
 
     def allocate_slot(self) -> int:
         """A free-segment slot whose frame may be migrated out.
@@ -262,12 +300,14 @@ class GenericSegmentManager(SegmentManager):
             self._stale_origin.pop(stale_slot)
             self._free_slots.remove(stale_slot)
             self.kernel.migrate_pages(
-                self.free_segment,
-                segment,
-                stale_slot,
-                fault.page,
-                1,
-                set_flags=PageFlags.READ | PageFlags.WRITE,
+                MigratePagesRequest(
+                    self.free_segment,
+                    segment,
+                    stale_slot,
+                    fault.page,
+                    set_flags=PageFlags.READ | PageFlags.WRITE,
+                    home_node=self.home_node,
+                )
             )
             self._empty_slots.append(stale_slot)
             self._note_resident(segment, fault.page)
@@ -287,13 +327,15 @@ class GenericSegmentManager(SegmentManager):
         # For COPY_ON_WRITE the kernel copies the source data during the
         # migrate; the manager only supplies the frame.
         self.kernel.migrate_pages(
-            self.free_segment,
-            segment,
-            slot,
-            fault.page,
-            1,
-            set_flags=PageFlags.READ | PageFlags.WRITE,
-            clear_flags=PageFlags.REFERENCED,
+            MigratePagesRequest(
+                self.free_segment,
+                segment,
+                slot,
+                fault.page,
+                set_flags=PageFlags.READ | PageFlags.WRITE,
+                clear_flags=PageFlags.REFERENCED,
+                home_node=self.home_node,
+            )
         )
         self._empty_slots.append(slot)
         self._note_resident(segment, fault.page)
@@ -325,10 +367,11 @@ class GenericSegmentManager(SegmentManager):
     def on_protection_fault(self, segment: Segment, fault: PageFault) -> None:
         """Default protection-fault policy: restore full access."""
         self.kernel.modify_page_flags(
-            segment,
-            fault.page,
-            1,
-            set_flags=PageFlags.READ | PageFlags.WRITE,
+            ModifyPageFlagsRequest(
+                segment,
+                fault.page,
+                set_flags=PageFlags.READ | PageFlags.WRITE,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -413,12 +456,13 @@ class GenericSegmentManager(SegmentManager):
             slot = self.free_segment.n_pages
             self.free_segment.grow(1)
         self.kernel.migrate_pages(
-            segment,
-            self.free_segment,
-            page,
-            slot,
-            1,
-            clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+            MigratePagesRequest(
+                segment,
+                self.free_segment,
+                page,
+                slot,
+                clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+            )
         )
         self._free_slots.append(slot)
         key = (segment.seg_id, page)
@@ -443,39 +487,57 @@ class GenericSegmentManager(SegmentManager):
                 slot = self.free_segment.n_pages
                 self.free_segment.grow(1)
             self.kernel.migrate_pages(
-                segment,
-                self.free_segment,
-                page,
-                slot,
-                1,
-                clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                MigratePagesRequest(
+                    segment,
+                    self.free_segment,
+                    page,
+                    slot,
+                    clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                )
             )
             self._free_slots.append(slot)
             self._resident.pop((segment.seg_id, page), None)
         self.pinned_segments.discard(segment.seg_id)
 
-    def release_frames(self, n_frames: int) -> int:
+    def release_frames(
+        self, demand: FrameDemand | int
+    ) -> FrameGrant | int:
         """SPCM pressure: surrender frames, reclaiming if needed.
 
-        The manager keeps "complete control over which page frames to
-        surrender" --- pinned segments are never victimized.
+        The canonical form takes a :class:`~repro.core.api.FrameDemand`
+        and answers with the :class:`~repro.core.api.FrameGrant` of
+        surrendered free-segment pages (honoring the demand's node
+        preference); the bare-int form is deprecated and still returns a
+        bare count.  The manager keeps "complete control over which page
+        frames to surrender" --- pinned segments are never victimized.
         """
-        if len(self._free_slots) < n_frames:
-            self.reclaim_pages(n_frames - len(self._free_slots))
-        return self.return_frames(n_frames)
+        if not isinstance(demand, FrameDemand):
+            warn_legacy_call("SegmentManager.release_frames")
+            return self._release_frames(FrameDemand(int(demand))).n_frames
+        return self._release_frames(demand)
 
-    def adopt_segment(self, segment: Segment) -> None:
+    def _release_frames(self, demand: FrameDemand) -> FrameGrant:
+        if len(self._free_slots) < demand.n_frames:
+            self.reclaim_pages(demand.n_frames - len(self._free_slots))
+        return self._surrender_slots(demand.n_frames, demand.node)
+
+    def adopt_segment(self, segment: Segment) -> FrameGrant:
         """Index a failed manager's resident pages for our reclaim policy."""
-        for page in sorted(segment.pages):
+        pages = sorted(segment.pages)
+        for page in pages:
             self._note_resident(segment, page)
+        return FrameGrant(tuple(pages))
 
-    def on_frames_seized(self, pages: list[int]) -> None:
+    def on_frames_seized(self, grant: FrameGrant | list[int]) -> None:
         """The SPCM forcibly took these free-segment pages back."""
-        seized = set(pages)
+        if not isinstance(grant, FrameGrant):
+            warn_legacy_call("SegmentManager.on_frames_seized")
+            grant = FrameGrant(tuple(grant))
+        seized = set(grant.pages)
         self._free_slots = [s for s in self._free_slots if s not in seized]
-        for slot in pages:
+        for slot in grant.pages:
             self._drop_stale(slot)
-        self._empty_slots.extend(pages)
+        self._empty_slots.extend(grant.pages)
 
     # ------------------------------------------------------------------
     # pinning helpers (S2.2: the manager keeps its own pages in memory)

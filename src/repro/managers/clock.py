@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import ModifyPageFlagsRequest
 from repro.core.flags import PageFlags
 from repro.core.segment import Segment
 
@@ -76,7 +77,9 @@ class ClockReplacer:
                 # Second chance: clear the bit (shooting down cached
                 # translations so a future touch re-sets it) and move on.
                 self.manager.kernel.modify_page_flags(
-                    segment, page, 1, clear_flags=PageFlags.REFERENCED
+                    ModifyPageFlagsRequest(
+                        segment, page, clear_flags=PageFlags.REFERENCED
+                    )
                 )
                 continue
             if (segment, page) not in victims:
@@ -123,12 +126,16 @@ class ProtectionClockSampler:
                     prev = page
                     continue
                 self.manager.kernel.modify_page_flags(
-                    segment,
-                    run_start,
-                    prev - run_start + 1,
-                    clear_flags=(
-                        PageFlags.READ | PageFlags.WRITE | PageFlags.REFERENCED
-                    ),
+                    ModifyPageFlagsRequest(
+                        segment,
+                        run_start,
+                        prev - run_start + 1,
+                        clear_flags=(
+                            PageFlags.READ
+                            | PageFlags.WRITE
+                            | PageFlags.REFERENCED
+                        ),
+                    )
                 )
                 if page is not None:
                     run_start = page
@@ -141,11 +148,13 @@ class ProtectionClockSampler:
         start = (page // self.batch_pages) * self.batch_pages
         n = min(self.batch_pages, segment.n_pages - start)
         restored = self.manager.kernel.modify_page_flags(
-            segment,
-            start,
-            n,
-            set_flags=PageFlags.READ | PageFlags.WRITE,
-        )
+            ModifyPageFlagsRequest(
+                segment,
+                start,
+                n,
+                set_flags=PageFlags.READ | PageFlags.WRITE,
+            )
+        ).modified
         self.referenced[segment.seg_id] = (
             self.referenced.get(segment.seg_id, 0) + restored
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import FrameGrant, MigratePagesRequest
 from repro.core.faults import FaultKind, PageFault
 from repro.core.flags import PageFlags
 from repro.core.segment import Segment
@@ -109,13 +110,15 @@ class ColoringSegmentManager(GenericSegmentManager):
             slot = self.allocate_slot()
             self._uncolor_slot(slot)
         self.kernel.migrate_pages(
-            self.free_segment,
-            segment,
-            slot,
-            fault.page,
-            1,
-            set_flags=PageFlags.READ | PageFlags.WRITE,
-            clear_flags=PageFlags.REFERENCED,
+            MigratePagesRequest(
+                self.free_segment,
+                segment,
+                slot,
+                fault.page,
+                set_flags=PageFlags.READ | PageFlags.WRITE,
+                clear_flags=PageFlags.REFERENCED,
+                home_node=self.home_node,
+            )
         )
         self._empty_slots.append(slot)
         self._note_resident(segment, fault.page)
@@ -125,6 +128,18 @@ class ColoringSegmentManager(GenericSegmentManager):
             if slot in slots:
                 slots.remove(slot)
                 return
+
+    def _surrender_slots(self, n_frames: int, node: int | None = None):
+        grant = super()._surrender_slots(n_frames, node)
+        for slot in grant.pages:
+            self._uncolor_slot(slot)
+        return grant
+
+    def on_frames_seized(self, grant: "FrameGrant | list[int]") -> None:
+        pages = grant.pages if isinstance(grant, FrameGrant) else tuple(grant)
+        super().on_frames_seized(grant)
+        for slot in pages:
+            self._uncolor_slot(slot)
 
     def reclaim_one(self, segment: Segment, page: int) -> None:
         frame = segment.pages.get(page)

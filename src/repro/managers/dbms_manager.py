@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import MigratePagesRequest, ModifyPageFlagsRequest
 from repro.core.flags import PageFlags
 from repro.core.segment import Segment
 from repro.errors import ManagerError
@@ -137,12 +138,13 @@ class DBMSSegmentManager(GenericSegmentManager):
                 slot = self.free_segment.n_pages
                 self.free_segment.grow(1)
             self.kernel.migrate_pages(
-                segment,
-                self.free_segment,
-                page,
-                slot,
-                1,
-                clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                MigratePagesRequest(
+                    segment,
+                    self.free_segment,
+                    page,
+                    slot,
+                    clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                )
             )
             self._free_slots.append(slot)
             self._resident.pop((segment.seg_id, page), None)
@@ -200,5 +202,5 @@ class DBMSSegmentManager(GenericSegmentManager):
                 self.ensure_resident(segment, [page])
         for page in pages:
             self.kernel.modify_page_flags(
-                segment, page, 1, set_flags=PageFlags.PINNED
+                ModifyPageFlagsRequest(segment, page, set_flags=PageFlags.PINNED)
             )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import MigratePagesRequest, ModifyPageFlagsRequest
 from repro.core.faults import FaultKind, PageFault
 from repro.core.flags import PageFlags
 from repro.core.manager_api import InvocationMode
@@ -51,8 +52,11 @@ class DefaultSegmentManager(GenericSegmentManager):
         append_unit_pages: int = 4,
         clock_batch_pages: int = 8,
         name: str = "default-manager",
+        home_node: int | None = None,
     ) -> None:
-        super().__init__(kernel, spcm, name, initial_frames)
+        super().__init__(
+            kernel, spcm, name, initial_frames, home_node=home_node
+        )
         self.file_server = file_server
         self.append_unit_pages = append_unit_pages
         self.sampler = ProtectionClockSampler(self, clock_batch_pages)
@@ -125,24 +129,29 @@ class DefaultSegmentManager(GenericSegmentManager):
         )
         if contiguous:
             self.kernel.migrate_pages(
-                self.free_segment,
-                segment,
-                slots[0],
-                run[0],
-                len(run),
-                set_flags=PageFlags.READ | PageFlags.WRITE,
-                clear_flags=PageFlags.REFERENCED,
+                MigratePagesRequest(
+                    self.free_segment,
+                    segment,
+                    slots[0],
+                    run[0],
+                    len(run),
+                    set_flags=PageFlags.READ | PageFlags.WRITE,
+                    clear_flags=PageFlags.REFERENCED,
+                    home_node=self.home_node,
+                )
             )
         else:
             for slot, page in zip(slots, run):
                 self.kernel.migrate_pages(
-                    self.free_segment,
-                    segment,
-                    slot,
-                    page,
-                    1,
-                    set_flags=PageFlags.READ | PageFlags.WRITE,
-                    clear_flags=PageFlags.REFERENCED,
+                    MigratePagesRequest(
+                        self.free_segment,
+                        segment,
+                        slot,
+                        page,
+                        set_flags=PageFlags.READ | PageFlags.WRITE,
+                        clear_flags=PageFlags.REFERENCED,
+                        home_node=self.home_node,
+                    )
                 )
         self._empty_slots.extend(slots)
         for page in run:
@@ -214,7 +223,9 @@ class DefaultSegmentManager(GenericSegmentManager):
             if PageFlags.DIRTY & PageFlags(frame.flags):
                 self.file_server.store_page(segment, page, frame.read())
                 self.kernel.modify_page_flags(
-                    segment, page, 1, clear_flags=PageFlags.DIRTY
+                    ModifyPageFlagsRequest(
+                        segment, page, clear_flags=PageFlags.DIRTY
+                    )
                 )
                 self.writebacks += 1
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import ModifyPageFlagsRequest
 from repro.core.flags import PageFlags
 from repro.core.segment import Segment
 from repro.errors import ManagerError
@@ -61,7 +62,7 @@ class PinnedPageManager(GenericSegmentManager):
                     )
                 )
             self.kernel.modify_page_flags(
-                segment, page, 1, set_flags=PageFlags.PINNED
+                ModifyPageFlagsRequest(segment, page, set_flags=PageFlags.PINNED)
             )
             self.pinned.add((segment.seg_id, page))
             pinned += 1
@@ -75,7 +76,9 @@ class PinnedPageManager(GenericSegmentManager):
                     f"page {page} of {segment.name} is not pinned"
                 )
             self.kernel.modify_page_flags(
-                segment, page, 1, clear_flags=PageFlags.PINNED
+                ModifyPageFlagsRequest(
+                    segment, page, clear_flags=PageFlags.PINNED
+                )
             )
             self.pinned.discard((segment.seg_id, page))
 

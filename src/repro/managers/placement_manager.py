@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import FrameGrant, MigratePagesRequest
 from repro.core.faults import FaultKind, PageFault
 from repro.core.flags import PageFlags
 from repro.core.segment import Segment
@@ -66,6 +67,7 @@ class PlacementSegmentManager(GenericSegmentManager):
                 page_size=self.page_size,
                 phys_lo=lo,
                 phys_hi=hi,
+                home_node=node,
             ),
             self.free_segment,
         )
@@ -94,6 +96,20 @@ class PlacementSegmentManager(GenericSegmentManager):
             if slot in slots:
                 slots.remove(slot)
                 return
+
+    def _surrender_slots(
+        self, n_frames: int, node: int | None = None
+    ) -> FrameGrant:
+        grant = super()._surrender_slots(n_frames, node)
+        for slot in grant.pages:
+            self._unnode_slot(slot)
+        return grant
+
+    def on_frames_seized(self, grant: "FrameGrant | list[int]") -> None:
+        pages = grant.pages if isinstance(grant, FrameGrant) else tuple(grant)
+        super().on_frames_seized(grant)
+        for slot in pages:
+            self._unnode_slot(slot)
 
     # ------------------------------------------------------------------
     # home-node segments
@@ -132,13 +148,15 @@ class PlacementSegmentManager(GenericSegmentManager):
             slot = self.allocate_slot()
             self._unnode_slot(slot)
         self.kernel.migrate_pages(
-            self.free_segment,
-            segment,
-            slot,
-            fault.page,
-            1,
-            set_flags=PageFlags.READ | PageFlags.WRITE,
-            clear_flags=PageFlags.REFERENCED,
+            MigratePagesRequest(
+                self.free_segment,
+                segment,
+                slot,
+                fault.page,
+                set_flags=PageFlags.READ | PageFlags.WRITE,
+                clear_flags=PageFlags.REFERENCED,
+                home_node=home,
+            )
         )
         self._empty_slots.append(slot)
         self._note_resident(segment, fault.page)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import MigratePagesRequest
 from repro.core.flags import PageFlags
 from repro.core.segment import Segment
 from repro.core.uio import FileServer
@@ -202,13 +203,15 @@ class PrefetchingSegmentManager(GenericSegmentManager):
         frame = self.free_segment.pages[slot]
         self.fill_page(segment, page, frame)
         self.kernel.migrate_pages(
-            self.free_segment,
-            segment,
-            slot,
-            page,
-            1,
-            set_flags=PageFlags.READ | PageFlags.WRITE,
-            clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+            MigratePagesRequest(
+                self.free_segment,
+                segment,
+                slot,
+                page,
+                set_flags=PageFlags.READ | PageFlags.WRITE,
+                clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                home_node=self.home_node,
+            )
         )
         self._empty_slots.append(slot)
         self._note_resident(segment, page)

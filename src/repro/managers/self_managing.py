@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.api import ModifyPageFlagsRequest, SetSegmentManagerRequest
 from repro.core.faults import PageFault
 from repro.core.flags import PageFlags
 from repro.core.segment import Segment
@@ -113,12 +114,16 @@ class SelfManagingManager(GenericSegmentManager):
             # a page was reclaimed between steps: hand the segments back
             # and retry from the top (the paper's retry loop)
             for segment in self._own_segments():
-                self.kernel.set_segment_manager(segment, self.default_manager)
+                self.kernel.set_segment_manager(
+                    SetSegmentManagerRequest(segment, self.default_manager)
+                )
         # 4. exclude our own frames from replacement, signal stack included
         for segment in self._own_segments():
             self.pin_segment(segment)
             self.kernel.modify_page_flags(
-                segment, 0, segment.n_pages, set_flags=PageFlags.PINNED
+                ModifyPageFlagsRequest(
+                    segment, 0, segment.n_pages, set_flags=PageFlags.PINNED
+                )
             )
         self.active = True
         self.init_retries += retries
@@ -180,9 +185,13 @@ class SelfManagingManager(GenericSegmentManager):
         for segment in self._own_segments():
             self.unpin_segment(segment)
             self.kernel.modify_page_flags(
-                segment, 0, segment.n_pages, clear_flags=PageFlags.PINNED
+                ModifyPageFlagsRequest(
+                    segment, 0, segment.n_pages, clear_flags=PageFlags.PINNED
+                )
             )
-            self.kernel.set_segment_manager(segment, self.default_manager)
+            self.kernel.set_segment_manager(
+                SetSegmentManagerRequest(segment, self.default_manager)
+            )
         self.active = False
         self.swapped_out_pages += swapped
         return swapped

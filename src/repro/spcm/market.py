@@ -51,6 +51,9 @@ class DramAccount:
     total_memory_charges: float = field(default=0.0)
     total_io_charges: float = field(default=0.0)
     total_tax: float = field(default=0.0)
+    #: net drams received from sibling markets (sharded SPCM rebalancing;
+    #: negative when this account mostly sends drams to other shards)
+    total_transfers: float = field(default=0.0)
     #: integral of holding_mb over time (for share-of-machine checks)
     holding_mb_seconds: float = field(default=0.0)
 
@@ -67,6 +70,11 @@ class MemoryMarket:
         self.demand_outstanding: bool = False
         #: drams collected by the system (charges + taxes - income paid)
         self.system_sink: float = 0.0
+        #: net drams received from sibling markets (per-node shard markets
+        #: under the global arbiter); conservation per market is
+        #: ``total_drams() == transfer_balance``, and the transfer
+        #: balances of all sibling markets sum to zero
+        self.transfer_balance: float = 0.0
         #: set by the SPCM it prices for; account lifecycle, I/O charges
         #: and broke transitions are reported as trace events
         self.tracer = NULL_TRACER
@@ -206,7 +214,28 @@ class MemoryMarket:
                 f"needs {amount:.1f}"
             )
 
+    def receive_transfer(self, name: str, amount: float) -> None:
+        """Move ``amount`` drams into (negative: out of) an account here.
+
+        Only the global arbiter calls this, always in balanced pairs with
+        a sibling market, so drams are conserved machine-wide: the amount
+        is recorded on both the account (``total_transfers``) and the
+        market (``transfer_balance``) and the invariant checker verifies
+        ``total_drams() == transfer_balance`` per market with the
+        transfer balances summing to zero across markets.
+        """
+        account = self.accounts[name]
+        account.balance += amount
+        account.total_transfers += amount
+        self.transfer_balance += amount
+        if self.tracer.enabled and amount:
+            self.tracer.event(
+                "market",
+                f"arbiter transfer: {amount:+.2f} drams to {name}",
+            )
+
     def total_drams(self) -> float:
-        """Conservation check: account balances plus the system sink are
-        zero in aggregate (every dram paid out came from the sink)."""
+        """Conservation check: account balances plus the system sink equal
+        the net drams transferred in from sibling markets (zero for a
+        lone market --- every dram paid out came from the sink)."""
         return sum(a.balance for a in self.accounts.values()) + self.system_sink

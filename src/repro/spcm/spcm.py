@@ -1,12 +1,23 @@
-"""The System Page Cache Manager (SPCM).
+"""The System Page Cache Manager (SPCM), sharded over the NUMA topology.
 
-A process-level module that owns the global frame pool --- the well-known
-boot segment holding every frame in physical-address order --- and
-allocates frames to segment managers on request (paper, S2.4).  It
+A process-level module that owns the machine's frame pool --- the
+well-known boot segment holding every frame in physical-address order ---
+and allocates frames to segment managers on request (paper, S2.4).  It
 supports requests constrained by physical address range or page color
 (placement control / coloring), partially satisfies constrained requests
 it cannot fill ("it allocates and provides as many page frames as it can"),
 and optionally prices memory through the :class:`~repro.spcm.market.MemoryMarket`.
+
+On a NUMA machine (the DASH anticipation of S1) the SPCM runs **one shard
+per node**: each :class:`SPCMShard` accounts for its node's frames and
+runs its own dram market, and the thin :class:`~repro.spcm.arbiter.GlobalArbiter`
+rebalances drams between shard markets and brokers cross-node frame loans
+when a shard runs dry.  A request carrying a ``home_node`` hint is served
+local-first; per-node frame grabs are grouped into one batched
+``MigratePages`` shard transaction, amortizing the per-page market
+accounting the way the paper amortizes ``MigratePages`` batches.  Without
+a topology the SPCM degenerates to a single shard over the whole machine
+and behaves (and charges) exactly as the flat version did.
 
 Frames returned by one account and granted to another are flagged
 ``ZERO_FILL`` so the kernel zeroes them in transit --- the paper's point
@@ -16,13 +27,16 @@ that zeroing is needed only "if the page is being given to another user".
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.core.api import FrameDemand, FrameGrant, MigratePagesRequest
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
 from repro.core.manager_api import SegmentManager
 from repro.core.segment import Segment
 from repro.errors import AllocationRefusedError, SPCMError
+from repro.hw.numa import NumaTopology
+from repro.spcm.arbiter import GlobalArbiter
 from repro.spcm.market import MemoryMarket
 from repro.spcm.policy import (
     AllocationDecision,
@@ -42,22 +56,110 @@ class FrameRequest:
     phys_hi: int | None = None
     colors: frozenset[int] | None = None   # acceptable page colors
     n_colors: int | None = None            # color modulus (required w/ colors)
+    home_node: int | None = None           # NUMA placement hint (local-first)
+
+
+@dataclass
+class SPCMShard:
+    """Per-node accounting for one slice of the frame pool.
+
+    The authoritative free list stays on the parent SPCM (free pages are
+    partitioned by physical address, so shard membership is a function of
+    the frame, not separate state); the shard carries what *differs* per
+    node: who holds how many of this node's frames, the node's own dram
+    market, and grant/loan counters.  The per-shard conservation
+    invariant is ``boot pages on this node == free here + sum(frames_held)
+    + retired here``.
+    """
+
+    node: int
+    phys_lo: int
+    phys_hi: int
+    market: MemoryMarket | None = None
+    #: account -> frames of *this node* currently granted out
+    frames_held: dict[str, int] = field(default_factory=dict)
+    granted_frames: int = 0
+    #: grants that satisfied a request homed on this node
+    local_grants: int = 0
+    #: grants out of this pool serving another node's demand (loans out)
+    loaned_grants: int = 0
+    retired_frames: int = 0
+
+    def holds(self, phys_addr: int) -> bool:
+        """Whether a physical address falls in this shard's node."""
+        return self.phys_lo <= phys_addr < self.phys_hi
+
+    def note_granted(self, account: str, n_frames: int, local: bool) -> None:
+        """Book a grant of this node's frames to ``account``."""
+        self.frames_held[account] = (
+            self.frames_held.get(account, 0) + n_frames
+        )
+        self.granted_frames += n_frames
+        if local:
+            self.local_grants += n_frames
+        else:
+            self.loaned_grants += n_frames
+
+    def note_returned(self, account: str, n_frames: int) -> None:
+        """Book the return of this node's frames by ``account``."""
+        held = self.frames_held.get(account, 0)
+        self.frames_held[account] = max(0, held - n_frames)
+
+    def stats_dict(self) -> dict[str, float]:
+        """Flat per-shard counters for the metrics registry."""
+        return {
+            f"shard{self.node}.granted_frames": float(self.granted_frames),
+            f"shard{self.node}.local_grants": float(self.local_grants),
+            f"shard{self.node}.loaned_grants": float(self.loaned_grants),
+            f"shard{self.node}.retired_frames": float(self.retired_frames),
+        }
 
 
 class SystemPageCacheManager:
-    """Allocates the global frame pool among segment managers."""
+    """Allocates the frame pool among segment managers, shard by shard."""
 
     def __init__(
         self,
         kernel: Kernel,
         policy: AllocationPolicy | None = None,
         market: MemoryMarket | None = None,
+        topology: NumaTopology | None = None,
     ) -> None:
         self.kernel = kernel
         self.policy = policy if policy is not None else ReservePolicy()
         self.market = market
         if market is not None and not market.tracer.enabled:
             market.tracer = kernel.tracer
+        #: the machine's NUMA topology (defaults to the kernel's; None
+        #: means flat UMA memory and a single shard)
+        self.topology = (
+            topology if topology is not None else kernel.topology
+        )
+        if self.topology is not None:
+            self.topology.validate_for(kernel.memory)
+        # one shard per node; shard 0 keeps the caller's market, the rest
+        # run fresh markets with the same config (their own economies,
+        # rebalanced by the arbiter)
+        self.shards: list[SPCMShard] = []
+        if self.topology is None:
+            self.shards.append(
+                SPCMShard(0, 0, kernel.memory.size_bytes, market=market)
+            )
+        else:
+            for node in self.topology.nodes():
+                lo, hi = self.topology.node_range(node)
+                shard_market = market
+                if node > 0 and market is not None:
+                    shard_market = MemoryMarket(market.config)
+                    shard_market.tracer = market.tracer
+                self.shards.append(
+                    SPCMShard(node, lo, hi, market=shard_market)
+                )
+        self.markets: list[MemoryMarket] = [
+            shard.market for shard in self.shards if shard.market is not None
+        ]
+        #: the thin global layer between shards (loans + dram rebalancing)
+        self.arbiter = GlobalArbiter(self.markets)
         # free pool per page size: sorted boot-segment page indices
         self._free: dict[int, list[int]] = {}
         # every frame's home (boot segment, boot page index)
@@ -71,6 +173,9 @@ class SystemPageCacheManager:
         self.granted_frames = 0
         self.seized_frames = 0
         self.retired_frames = 0
+        #: machine-wide local/remote split of placement-hinted grants
+        self.local_grant_pages = 0
+        self.remote_grant_pages = 0
         for boot in kernel.boot_segments.values():
             free = self._free.setdefault(boot.page_size, [])
             for page, frame in sorted(boot.pages.items()):
@@ -80,17 +185,59 @@ class SystemPageCacheManager:
         # to reach the SPCM without threading it through every call
         kernel.spcm = self
 
+    # -- shard plumbing -----------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, phys_addr: int) -> SPCMShard:
+        """The shard owning a physical address."""
+        if self.topology is None:
+            return self.shards[0]
+        return self.shards[self.topology.node_of(phys_addr)]
+
+    def free_frames_by_node(
+        self, page_size: int | None = None
+    ) -> dict[int, int]:
+        """Free-frame count per node (the invariant checker's view)."""
+        size = page_size or self.kernel.memory.page_size
+        boot = self.kernel.boot_segments.get(size)
+        counts = {shard.node: 0 for shard in self.shards}
+        if boot is None:
+            return counts
+        for page in self._free.get(size, []):
+            counts[self.shard_of(boot.pages[page].phys_addr).node] += 1
+        return counts
+
     # -- registration -------------------------------------------------------
 
     def register_manager(
         self, manager: SegmentManager, account: str | None = None
     ) -> str:
-        """Associate a manager with a (market) account name."""
+        """Associate a manager with a (market) account name.
+
+        On a sharded SPCM the account is opened in every shard market,
+        with the configured income split evenly across the shards so the
+        machine-wide income matches the flat-SPCM economy; the arbiter
+        then moves drams to wherever the account actually holds memory.
+        """
         name = account or manager.name
         self._accounts[manager.name] = name
         self.frames_held.setdefault(name, 0)
-        if self.market is not None and name not in self.market.accounts:
-            self.market.open_account(name)
+        for shard in self.shards:
+            shard.frames_held.setdefault(name, 0)
+            if shard.market is None or name in shard.market.accounts:
+                continue
+            if self.n_shards > 1:
+                shard.market.open_account(
+                    name,
+                    income_per_second=(
+                        shard.market.config.income_per_second / self.n_shards
+                    ),
+                )
+            else:
+                shard.market.open_account(name)
         return name
 
     def account_of(self, manager: SegmentManager) -> str:
@@ -110,14 +257,29 @@ class SystemPageCacheManager:
 
     def stats_dict(self) -> dict[str, float]:
         """Flat values for a metrics-registry provider."""
-        return {
+        out = {
             "granted_frames": float(self.granted_frames),
             "deferred_requests": float(self.deferred_requests),
             "refused_requests": float(self.refused_requests),
             "available_frames": float(self.available_frames()),
             "seized_frames": float(self.seized_frames),
             "retired_frames": float(self.retired_frames),
+            "n_shards": float(self.n_shards),
+            "local_grant_pages": float(self.local_grant_pages),
+            "remote_grant_pages": float(self.remote_grant_pages),
         }
+        if self.n_shards > 1:
+            for shard in self.shards:
+                out.update(shard.stats_dict())
+            out.update(self.arbiter.stats_dict())
+        return out
+
+    def local_hit_ratio(self) -> float:
+        """Fraction of placement-hinted grants served from the home node."""
+        hinted = self.local_grant_pages + self.remote_grant_pages
+        if hinted == 0:
+            return 1.0
+        return self.local_grant_pages / hinted
 
     # -- allocation ------------------------------------------------------------
 
@@ -166,6 +328,19 @@ class SystemPageCacheManager:
             )
         account = self.account_of(manager)
         candidates = self._matching_free_pages(boot, size, request)
+        # a placement hint serves local frames first, then spills to
+        # remote pools (cross-node loans the arbiter books below)
+        home = request.home_node
+        if home is not None and self.topology is not None:
+            candidates = [
+                p
+                for p in candidates
+                if self.topology.is_local(home, boot.pages[p].phys_addr)
+            ] + [
+                p
+                for p in candidates
+                if not self.topology.is_local(home, boot.pages[p].phys_addr)
+            ]
         # policy judges against the whole pool; physical constraints then
         # clamp the grant to what actually matches ("as many page frames
         # as it can", S2.4)
@@ -191,11 +366,10 @@ class SystemPageCacheManager:
                     f"defer {request.n_frames} frame(s) for {account} "
                     f"({len(candidates)} matching free)",
                 )
-            if self.market is not None:
-                self.market.demand_outstanding = True
+            for market in self.markets:
+                market.demand_outstanding = True
             return []
         chosen = candidates[:n_grant]
-        granted_pages: list[int] = []
         free = self._free[size]
         for boot_page in chosen:
             free.remove(boot_page)
@@ -204,36 +378,114 @@ class SystemPageCacheManager:
             if previous is not None and previous != account:
                 frame.flags |= int(PageFlags.ZERO_FILL)
             self._last_account[frame.pfn] = account
-        # migrate contiguous boot runs with single MigratePages calls,
-        # attributed to the SPCM (it is the invoking module)
-        with self.kernel.attribute("SPCM"):
-            run_start = 0
-            while run_start < len(chosen):
-                run_end = run_start + 1
-                while (
-                    run_end < len(chosen)
-                    and chosen[run_end] == chosen[run_end - 1] + 1
-                ):
-                    run_end += 1
-                n_run = run_end - run_start
-                dst_page = dst_segment.n_pages
-                dst_segment.grow(n_run)
-                self.kernel.migrate_pages(
-                    boot,
-                    dst_segment,
-                    chosen[run_start],
-                    dst_page,
-                    n_run,
-                    set_flags=PageFlags.READ | PageFlags.WRITE,
-                    clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
-                )
-                granted_pages.extend(range(dst_page, dst_page + n_run))
-                run_start = run_end
+        if self.n_shards > 1:
+            granted_pages = self._grant_sharded(
+                boot, dst_segment, chosen, account, home
+            )
+        else:
+            granted_pages = self._grant_flat(boot, dst_segment, chosen)
+            self.shards[0].note_granted(account, len(chosen), local=True)
         self.frames_held[account] = (
             self.frames_held.get(account, 0) + len(granted_pages)
         )
         self.granted_frames += len(granted_pages)
         self._update_market_holding(account, size)
+        return granted_pages
+
+    @staticmethod
+    def _contiguous_runs(pages: list[int]) -> list[tuple[int, int]]:
+        """(start, n) runs of consecutive boot page indices."""
+        runs: list[tuple[int, int]] = []
+        run_start = 0
+        while run_start < len(pages):
+            run_end = run_start + 1
+            while (
+                run_end < len(pages)
+                and pages[run_end] == pages[run_end - 1] + 1
+            ):
+                run_end += 1
+            runs.append((pages[run_start], run_end - run_start))
+            run_start = run_end
+        return runs
+
+    def _grant_flat(
+        self, boot: Segment, dst_segment: Segment, chosen: list[int]
+    ) -> list[int]:
+        """Single-shard grant: one MigratePages per contiguous boot run,
+        attributed to the SPCM (it is the invoking module)."""
+        granted_pages: list[int] = []
+        with self.kernel.attribute("SPCM"):
+            for start, n_run in self._contiguous_runs(chosen):
+                dst_page = dst_segment.n_pages
+                dst_segment.grow(n_run)
+                self.kernel.migrate_pages(
+                    MigratePagesRequest(
+                        boot.seg_id,
+                        dst_segment.seg_id,
+                        start,
+                        dst_page,
+                        n_run,
+                        set_flags=PageFlags.READ | PageFlags.WRITE,
+                        clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                    )
+                )
+                granted_pages.extend(range(dst_page, dst_page + n_run))
+        return granted_pages
+
+    def _grant_sharded(
+        self,
+        boot: Segment,
+        dst_segment: Segment,
+        chosen: list[int],
+        account: str,
+        home: int | None,
+    ) -> list[int]:
+        """NUMA grant: one batched shard transaction per node.
+
+        Each node's frame grabs become one ``migrate_pages_batch`` call
+        (full kernel-entry cost once, marginal cost per further run) and
+        one accounting update on that node's shard, amortizing the
+        per-page market bookkeeping.  Grants off the home node are booked
+        as loans with the arbiter.
+        """
+        granted_pages: list[int] = []
+        by_node: dict[int, list[int]] = {}
+        for page in chosen:
+            node = self.shard_of(boot.pages[page].phys_addr).node
+            by_node.setdefault(node, []).append(page)
+        with self.kernel.attribute("SPCM"):
+            for node, node_pages in sorted(by_node.items()):
+                node_pages.sort()
+                requests = []
+                for start, n_run in self._contiguous_runs(node_pages):
+                    dst_page = dst_segment.n_pages
+                    dst_segment.grow(n_run)
+                    requests.append(
+                        MigratePagesRequest(
+                            boot.seg_id,
+                            dst_segment.seg_id,
+                            start,
+                            dst_page,
+                            n_run,
+                            set_flags=PageFlags.READ | PageFlags.WRITE,
+                            clear_flags=(
+                                PageFlags.REFERENCED | PageFlags.DIRTY
+                            ),
+                            home_node=home,
+                        )
+                    )
+                    granted_pages.extend(range(dst_page, dst_page + n_run))
+                self.kernel.migrate_pages_batch(requests)
+                local = home is None or node == home
+                self.shards[node].note_granted(
+                    account, len(node_pages), local=local
+                )
+                if home is not None:
+                    if node == home:
+                        self.local_grant_pages += len(node_pages)
+                    else:
+                        self.remote_grant_pages += len(node_pages)
+                        self.arbiter.note_loan(home, node, len(node_pages))
         return granted_pages
 
     def _matching_free_pages(
@@ -280,6 +532,7 @@ class SystemPageCacheManager:
             self.kernel.tracer.event(
                 "spcm", f"reclaim {len(pages)} frame(s) from {account}"
             )
+        returned_by_node: dict[int, int] = {}
         with self.kernel.attribute("SPCM"):
             for page in pages:
                 frame = src_segment.pages.get(page)
@@ -289,34 +542,49 @@ class SystemPageCacheManager:
                         "to return"
                     )
                 home_boot, home_page = self._home[frame.pfn]
+                node = self.shard_of(frame.phys_addr).node
+                returned_by_node[node] = returned_by_node.get(node, 0) + 1
                 self.kernel.migrate_pages(
-                    src_segment,
-                    home_boot,
-                    page,
-                    home_page,
-                    1,
-                    clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                    MigratePagesRequest(
+                        src_segment.seg_id,
+                        home_boot.seg_id,
+                        page,
+                        home_page,
+                        1,
+                        clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                    )
                 )
                 insort(self._free[size], home_page)
         held = self.frames_held.get(account, 0)
         self.frames_held[account] = max(0, held - len(pages))
+        for node, n_returned in returned_by_node.items():
+            self.shards[node].note_returned(account, n_returned)
         self._update_market_holding(account, size)
-        if self.market is not None and self.available_frames(size) > 0:
-            self.market.demand_outstanding = False
+        if self.available_frames(size) > 0:
+            for market in self.markets:
+                market.demand_outstanding = False
 
-    def force_reclaim(self, manager: SegmentManager, n_frames: int) -> int:
-        """Demand frames back (the broke-account case); returns count freed."""
+    def force_reclaim(
+        self, manager: SegmentManager, n_frames: int, node: int | None = None
+    ) -> int:
+        """Demand frames back (the broke-account case); returns count freed.
+
+        The demand travels as a typed :class:`~repro.core.api.FrameDemand`
+        and the manager answers with a :class:`~repro.core.api.FrameGrant`
+        naming the free-segment pages it surrendered.
+        """
+        demand = FrameDemand(n_frames, node=node, reason="broke")
         if not self.kernel.tracer.enabled:
-            return manager.release_frames(n_frames)
+            return manager.release_frames(demand).n_frames
         with self.kernel.tracer.span(
             "spcm",
             "force_reclaim",
             account=self.account_of(manager),
             n_frames=n_frames,
         ) as span:
-            freed = manager.release_frames(n_frames)
-            span.set_attr("n_freed", freed)
-            return freed
+            grant = manager.release_frames(demand)
+            span.set_attr("n_freed", grant.n_frames)
+            return grant.n_frames
 
     def seize_frames(self, manager: SegmentManager) -> int:
         """Forcibly reclaim a failed manager's free frames.
@@ -339,7 +607,7 @@ class SystemPageCacheManager:
             )
             if pages:
                 self.return_frames(manager, free_segment, pages)
-            manager.on_frames_seized(pages)
+            manager.on_frames_seized(FrameGrant(tuple(pages)))
             self.seized_frames += len(pages)
             span.set_attr("n_seized", len(pages))
             return len(pages)
@@ -351,18 +619,26 @@ class SystemPageCacheManager:
         against its holder's grant and can never be handed out again.
         """
         self.retired_frames += 1
+        shard = self.shard_of(frame.phys_addr)
+        shard.retired_frames += 1
         account = self._last_account.pop(frame.pfn, None)
-        if account is not None and account in self.frames_held:
-            self.frames_held[account] = max(
-                0, self.frames_held[account] - 1
-            )
-            self._update_market_holding(account, frame.page_size)
         home = self._home.pop(frame.pfn, None)
+        # a frame sitting in the free pool is nobody's holding: only
+        # frames retired while granted out come off their account's books
+        was_free = False
         if home is not None:
             home_boot, home_page = home
             free = self._free.get(home_boot.page_size)
             if free is not None and home_page in free:
                 free.remove(home_page)
+                was_free = True
+        if not was_free and account is not None:
+            if account in self.frames_held:
+                self.frames_held[account] = max(
+                    0, self.frames_held[account] - 1
+                )
+            shard.note_returned(account, 1)
+            self._update_market_holding(account, frame.page_size)
 
     def charge_io(self, manager: SegmentManager, n_bytes: int) -> float:
         """Bill a manager's backing-store traffic to its dram account.
@@ -381,15 +657,29 @@ class SystemPageCacheManager:
     # -- market plumbing ------------------------------------------------------------
 
     def advance_market(self, now_seconds: float) -> None:
-        """Advance market time; force reclaim from broke accounts."""
-        if self.market is None:
+        """Advance every shard market; then the arbiter moves each
+        account's drams toward the shards where it holds memory."""
+        if not self.markets:
             return
-        self.market.advance(now_seconds)
+        for market in self.markets:
+            market.advance(now_seconds)
+        self.arbiter.rebalance_drams()
 
     def _update_market_holding(self, account: str, page_size: int) -> None:
-        if self.market is None or account not in self.market.accounts:
-            return
-        holding_mb = (
-            self.frames_held.get(account, 0) * page_size / (1024.0 * 1024.0)
-        )
-        self.market.set_holding(account, holding_mb)
+        """Record the account's holding with each shard's market.
+
+        Per-shard holdings come from the shard's own books, so each node
+        charges only for its own frames; the flat single-shard case
+        reduces to the machine-wide holding as before.
+        """
+        for shard in self.shards:
+            if shard.market is None or account not in shard.market.accounts:
+                continue
+            held = (
+                self.frames_held.get(account, 0)
+                if self.n_shards == 1
+                else shard.frames_held.get(account, 0)
+            )
+            shard.market.set_holding(
+                account, held * page_size / (1024.0 * 1024.0)
+            )

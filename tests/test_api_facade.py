@@ -1,0 +1,330 @@
+"""API v2 facade: payload round-trips, deprecation shims, topology checks.
+
+This file is the *only* place the deprecated keyword call forms are
+exercised on purpose; every other caller in the repo goes through the
+typed request/result dataclasses of :mod:`repro.core.api`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.api import (
+    API_VERSION,
+    BatchStats,
+    FrameDemand,
+    FrameGrant,
+    GetPageAttributesRequest,
+    GetPageAttributesResult,
+    MigratePagesRequest,
+    MigratePagesResult,
+    ModifyPageFlagsRequest,
+    ModifyPageFlagsResult,
+    PageAttribute,
+    SetSegmentManagerRequest,
+    SetSegmentManagerResult,
+    reset_legacy_warnings,
+)
+from repro.core.flags import PageFlags
+from repro.core.kernel import Kernel
+from repro.errors import HardwareError
+from repro.hw.numa import NumaTopology
+from repro.hw.phys_mem import PhysicalMemory
+from repro.managers.base import GenericSegmentManager
+from repro.spcm.spcm import SystemPageCacheManager
+
+
+class _NamedManager:
+    """Just enough of a manager for the wire-form tests."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class TestPayloadRoundTrips:
+    """Every request/result survives to_payload -> from_payload."""
+
+    def test_api_version(self):
+        assert API_VERSION == (2, 0)
+
+    def test_page_attribute(self):
+        attr = PageAttribute(
+            page=3,
+            present=True,
+            flags=PageFlags.READ | PageFlags.DIRTY,
+            pfn=17,
+            phys_addr=17 * 4096,
+        )
+        assert PageAttribute.from_payload(attr.to_payload()) == attr
+
+    def test_page_attribute_absent(self):
+        attr = PageAttribute(
+            page=0, present=False, flags=PageFlags.NONE, pfn=None,
+            phys_addr=None,
+        )
+        assert PageAttribute.from_payload(attr.to_payload()) == attr
+
+    def test_batch_stats(self):
+        stats = BatchStats(
+            n_calls=2, n_pages=64, zero_fills=3, cow_copies=1,
+            local_pages=48, remote_pages=16,
+        )
+        assert BatchStats.from_payload(stats.to_payload()) == stats
+
+    def test_batch_stats_merged(self):
+        a = BatchStats(n_calls=1, n_pages=8, local_pages=8)
+        b = BatchStats(n_calls=2, n_pages=4, remote_pages=4, zero_fills=1)
+        merged = a.merged(b)
+        assert merged == BatchStats(
+            n_calls=3, n_pages=12, zero_fills=1, local_pages=8,
+            remote_pages=4,
+        )
+
+    def test_migrate_pages_request(self):
+        req = MigratePagesRequest(
+            src=1, dst=2, src_page=3, dst_page=4, n_pages=5,
+            set_flags=PageFlags.PINNED, clear_flags=PageFlags.DIRTY,
+            home_node=1,
+        )
+        assert MigratePagesRequest.from_payload(req.to_payload()) == req
+
+    def test_migrate_pages_request_coerces_segments(self, kernel):
+        seg = kernel.create_segment(1, name="coerce")
+        req = MigratePagesRequest(seg, seg, 0, 0)
+        assert req.src == seg.seg_id
+        assert req.dst == seg.seg_id
+
+    def test_migrate_pages_result(self):
+        result = MigratePagesResult(
+            moved_pfns=(9, 10, 11),
+            batch=BatchStats(n_pages=3, local_pages=3),
+        )
+        assert MigratePagesResult.from_payload(result.to_payload()) == result
+        assert result.n_pages == 3
+
+    def test_modify_page_flags_request(self):
+        req = ModifyPageFlagsRequest(
+            segment=7, page=1, n_pages=2,
+            set_flags=PageFlags.READ, clear_flags=PageFlags.REFERENCED,
+        )
+        assert ModifyPageFlagsRequest.from_payload(req.to_payload()) == req
+
+    def test_modify_page_flags_result(self):
+        result = ModifyPageFlagsResult(modified=5)
+        assert (
+            ModifyPageFlagsResult.from_payload(result.to_payload()) == result
+        )
+
+    def test_get_page_attributes_request(self):
+        req = GetPageAttributesRequest(segment=4, page=0, n_pages=8)
+        assert (
+            GetPageAttributesRequest.from_payload(req.to_payload()) == req
+        )
+
+    def test_get_page_attributes_result(self):
+        result = GetPageAttributesResult(
+            attributes=(
+                PageAttribute(0, True, PageFlags.READ, 1, 4096),
+                PageAttribute(1, False, PageFlags.NONE, None, None),
+            )
+        )
+        assert (
+            GetPageAttributesResult.from_payload(result.to_payload())
+            == result
+        )
+
+    def test_set_segment_manager_request(self):
+        managers = {"dbms": _NamedManager("dbms")}
+        req = SetSegmentManagerRequest(segment=9, manager=managers["dbms"])
+        back = SetSegmentManagerRequest.from_payload(
+            req.to_payload(), managers.__getitem__
+        )
+        assert back.segment == 9
+        assert back.manager is managers["dbms"]
+
+    def test_set_segment_manager_result(self):
+        result = SetSegmentManagerResult(previous_manager="default")
+        assert (
+            SetSegmentManagerResult.from_payload(result.to_payload())
+            == result
+        )
+
+    def test_frame_demand(self):
+        demand = FrameDemand(n_frames=4, node=1, reason="loan-recall")
+        assert FrameDemand.from_payload(demand.to_payload()) == demand
+
+    def test_frame_demand_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FrameDemand(-1)
+
+    def test_frame_grant(self):
+        grant = FrameGrant(pages=(2, 5, 7), node=0)
+        assert FrameGrant.from_payload(grant.to_payload()) == grant
+        assert grant.n_frames == 3
+        assert grant
+
+    def test_frame_grant_empty(self):
+        grant = FrameGrant.empty()
+        assert not grant
+        assert grant.n_frames == 0
+        assert FrameGrant.from_payload(grant.to_payload()) == grant
+
+
+@pytest.fixture
+def legacy_world(system):
+    """A booted system with the warn-once registry reset around the test."""
+    reset_legacy_warnings()
+    kernel, spcm = system.kernel, system.spcm
+    manager = GenericSegmentManager(
+        kernel, spcm, "legacy", initial_frames=16
+    )
+    yield kernel, spcm, manager
+    reset_legacy_warnings()
+
+
+def _legacy_calls(record) -> list[warnings.WarningMessage]:
+    return [
+        w for w in record if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+class TestDeprecationShims:
+    """Each legacy keyword call form warns exactly once per process."""
+
+    def test_modify_page_flags_warns_once(self, legacy_world):
+        kernel, _, manager = legacy_world
+        seg = kernel.create_segment(4, manager=manager)
+        kernel.reference(seg, 0)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            kernel.modify_page_flags(
+                seg, 0, 1, clear_flags=PageFlags.REFERENCED
+            )
+            kernel.modify_page_flags(
+                seg, 0, 1, set_flags=PageFlags.REFERENCED
+            )
+        caught = _legacy_calls(record)
+        assert len(caught) == 1
+        assert "ModifyPageFlagsRequest" in str(caught[0].message)
+
+    def test_migrate_pages_warns_once_and_returns_frames(self, legacy_world):
+        kernel, _, manager = legacy_world
+        seg = kernel.create_segment(4, manager=manager)
+        boot = kernel.initial_segment
+        pages = sorted(boot.pages)[:2]
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            moved = kernel.migrate_pages(boot, seg, pages[0], 0, 1)
+            kernel.migrate_pages(boot, seg, pages[1], 1, 1)
+        caught = _legacy_calls(record)
+        assert len(caught) == 1
+        assert "MigratePagesRequest" in str(caught[0].message)
+        # the legacy form still returns the moved PageFrame list
+        assert moved[0] is seg.pages[0]
+
+    def test_get_page_attributes_warns_once(self, legacy_world):
+        kernel, _, manager = legacy_world
+        seg = kernel.create_segment(4, manager=manager)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            attrs = kernel.get_page_attributes(seg, 0, 4)
+            kernel.get_page_attributes(seg, 0, 1)
+        caught = _legacy_calls(record)
+        assert len(caught) == 1
+        assert "GetPageAttributesRequest" in str(caught[0].message)
+        assert len(attrs) == 4  # legacy form keeps the bare list
+
+    def test_set_segment_manager_warns_once(self, legacy_world):
+        kernel, spcm, manager = legacy_world
+        other = GenericSegmentManager(
+            kernel, spcm, "legacy-other", initial_frames=0
+        )
+        seg = kernel.create_segment(2, manager=manager)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert kernel.set_segment_manager(seg, other) is None
+            kernel.set_segment_manager(seg, manager)
+        caught = _legacy_calls(record)
+        assert len(caught) == 1
+        assert "SetSegmentManagerRequest" in str(caught[0].message)
+
+    def test_release_frames_warns_once(self, legacy_world):
+        _, _, manager = legacy_world
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            freed = manager.release_frames(2)
+            manager.release_frames(1)
+        caught = _legacy_calls(record)
+        assert len(caught) == 1
+        assert "FrameDemand" in str(caught[0].message)
+        assert freed == 2  # legacy form keeps the bare count
+
+    def test_on_frames_seized_warns_once(self, legacy_world):
+        _, _, manager = legacy_world
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            manager.on_frames_seized([])
+            manager.on_frames_seized([])
+        caught = _legacy_calls(record)
+        assert len(caught) == 1
+        assert "FrameGrant" in str(caught[0].message)
+
+    def test_each_operation_warns_independently(self, legacy_world):
+        kernel, _, manager = legacy_world
+        seg = kernel.create_segment(4, manager=manager)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            kernel.get_page_attributes(seg, 0, 1)
+            kernel.modify_page_flags(seg, 0, 1)
+            kernel.get_page_attributes(seg, 0, 1)
+        caught = _legacy_calls(record)
+        assert len(caught) == 2
+
+    def test_typed_forms_never_warn(self, legacy_world):
+        kernel, _, manager = legacy_world
+        seg = kernel.create_segment(4, manager=manager)
+        kernel.reference(seg, 0)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            kernel.get_page_attributes(GetPageAttributesRequest(seg, 0, 4))
+            kernel.modify_page_flags(
+                ModifyPageFlagsRequest(
+                    seg, 0, 1, clear_flags=PageFlags.REFERENCED
+                )
+            )
+            manager.release_frames(FrameDemand(1))
+            manager.on_frames_seized(FrameGrant.empty())
+        assert _legacy_calls(record) == []
+
+
+class TestTopologyValidation:
+    """Node boundaries are checked wherever a topology meets a machine."""
+
+    def test_for_memory_requires_divisible_size(self, memory):
+        with pytest.raises(HardwareError):
+            NumaTopology.for_memory(memory, 3)  # 4 MB does not split by 3
+
+    def test_validate_for_rejects_short_topology(self, memory):
+        bad = NumaTopology(n_nodes=2, node_bytes=memory.size_bytes // 4)
+        with pytest.raises(HardwareError):
+            bad.validate_for(memory)
+
+    def test_kernel_rejects_mismatched_topology(self, memory):
+        bad = NumaTopology(n_nodes=2, node_bytes=memory.size_bytes)
+        with pytest.raises(HardwareError):
+            Kernel(memory, topology=bad)
+
+    def test_spcm_rejects_mismatched_topology(self, memory):
+        kernel = Kernel(memory)
+        bad = NumaTopology(n_nodes=4, node_bytes=memory.size_bytes)
+        with pytest.raises(HardwareError):
+            SystemPageCacheManager(kernel, topology=bad)
+
+    def test_matching_topology_boots_sharded(self, memory):
+        topology = NumaTopology.for_memory(memory, 2)
+        kernel = Kernel(memory, topology=topology)
+        spcm = SystemPageCacheManager(kernel)
+        assert spcm.n_shards == 2
+        assert [shard.node for shard in spcm.shards] == [0, 1]

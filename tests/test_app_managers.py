@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import GetPageAttributesRequest
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
 from repro.core.uio import FileServer
@@ -95,8 +96,10 @@ class TestDBMSManager:
         )
         assert got == 4
         attrs = kernel.get_page_attributes(
-            manager.free_segment, 0, manager.free_segment.n_pages
-        )
+            GetPageAttributesRequest(
+                manager.free_segment, 0, manager.free_segment.n_pages
+            )
+        ).attributes
         for attr in attrs:
             if attr.present:
                 assert attr.phys_addr is not None

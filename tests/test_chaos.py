@@ -442,6 +442,73 @@ class TestECCRetirement:
 
 
 # ---------------------------------------------------------------------------
+# sharded (NUMA) chaos: crashes stay on their node
+# ---------------------------------------------------------------------------
+
+
+def _free_frames_on_node(kernel, spcm, node: int) -> int:
+    """Free-list entries whose frames are physically homed on ``node``."""
+    count = 0
+    for size, pages in spcm._free.items():
+        boot = kernel.boot_segments[size]
+        for page in pages:
+            frame = boot.pages.get(page)
+            if frame is not None and spcm.shard_of(frame.phys_addr).node == node:
+                count += 1
+    return count
+
+
+class TestShardedChaos:
+    def test_node0_crash_does_not_leak_frames_into_node1(self):
+        """A manager crash on node 0 returns its frames to node 0's
+        shard; node 1's free pool and holdings are untouched and both
+        shards still conserve frames."""
+        system = build_system(memory_mb=8, n_nodes=2, manager_frames=64)
+        kernel, spcm = system.kernel, system.spcm
+        victim = DefaultSegmentManager(
+            kernel,
+            spcm,
+            system.file_server,
+            initial_frames=8,
+            name=VICTIM,
+            home_node=0,
+        )
+        file_seg = kernel.create_segment(
+            0, name="vf", manager=victim, auto_grow=True
+        )
+        system.file_server.create_file(file_seg, data=b"data" * 2048)
+        space = kernel.create_segment(8, name="vs")
+        space.bind(0, 2, file_seg, 0)
+        shard0, shard1 = spcm.shards
+        # the victim's stock is node-local thanks to the home_node hint
+        assert shard0.frames_held.get(VICTIM, 0) == 8
+        assert shard1.frames_held.get(VICTIM, 0) == 0
+        node1_free = _free_frames_on_node(kernel, spcm, 1)
+        node1_held = sum(shard1.frames_held.values())
+        checker = InvariantChecker(kernel, spcm=spcm)
+        checker.check_all()
+
+        install_plan(system, manager_crash_rate=1.0, max_injections=1)
+        kernel.reference(space, 0)
+        assert kernel.stats.manager_crashes == 1
+
+        # node 0 settles its own books; node 1's are bit-identical
+        assert shard0.frames_held.get(VICTIM, 0) == 0
+        assert shard1.frames_held.get(VICTIM, 0) == 0
+        assert _free_frames_on_node(kernel, spcm, 1) == node1_free
+        assert sum(shard1.frames_held.values()) == node1_held
+        checker.check_all()
+
+    @pytest.mark.chaos
+    def test_seeded_crash_schedules_on_sharded_system(self):
+        """Seeded schedules survive a 2-node sharded SPCM; the invariant
+        checker (shard conservation included) never fires."""
+        for result in run_seed_matrix("apps", range(8), n_nodes=2):
+            assert result.completed or result.error_type
+            assert result.checks_run > 0
+
+
+# ---------------------------------------------------------------------------
 # process suspension
 # ---------------------------------------------------------------------------
 

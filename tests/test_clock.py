@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import ModifyPageFlagsRequest
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
 from repro.managers.base import GenericSegmentManager
@@ -29,7 +30,9 @@ class TestClockReplacer:
         # clear REFERENCED on pages 1 and 3 only
         for page in (1, 3):
             kernel.modify_page_flags(
-                seg, page, 1, clear_flags=PageFlags.REFERENCED
+                ModifyPageFlagsRequest(
+                    seg, page, 1, clear_flags=PageFlags.REFERENCED
+                )
             )
         victims = clock.select_victims(2)
         assert {p for _, p in victims} == {1, 3}
@@ -54,7 +57,9 @@ class TestClockReplacer:
             kernel.reference(seg, page * 4096)
         for page in range(4):
             kernel.modify_page_flags(
-                seg, page, 1, clear_flags=PageFlags.REFERENCED
+                ModifyPageFlagsRequest(
+                    seg, page, 1, clear_flags=PageFlags.REFERENCED
+                )
             )
         kernel.reference(seg, 2 * 4096)  # re-reference page 2
         victims = clock.select_victims(3)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import MigratePagesRequest
 from repro.core.faults import FaultKind
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
@@ -129,6 +130,10 @@ class TestCopyOnWrite:
         )
         boot = kernel.initial_segment
         page = next(p for p in sorted(boot.pages) if True)
-        moved = kernel.migrate_pages(boot, shadow, page, 0, 1)
-        assert moved[0].read(0, 8) == b"original"
+        result = kernel.migrate_pages(
+            MigratePagesRequest(boot, shadow, page, 0, 1)
+        )
+        frame = shadow.pages[0]
+        assert frame.pfn == result.moved_pfns[0]
+        assert frame.read(0, 8) == b"original"
         assert kernel.stats.cow_copies == 1

@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import (
+    FrameDemand,
+    MigratePagesRequest,
+    ModifyPageFlagsRequest,
+)
 from repro.core.faults import FaultKind, PageFault
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
@@ -31,7 +36,9 @@ class TestAllocateRunFallback:
         for even_slot in (0, 2, 4, 6):
             manager._free_slots.remove(even_slot)
             kernel.migrate_pages(
-                manager.free_segment, seg, even_slot, even_slot, 1
+                MigratePagesRequest(
+                    manager.free_segment, seg, even_slot, even_slot, 1
+                )
             )
             manager._empty_slots.append(even_slot)
         # drain the SPCM so a contiguous refill is impossible
@@ -76,7 +83,9 @@ class TestColoringNonMissingFaults:
         seg = kernel.create_segment(4, manager=manager)
         kernel.reference(seg, 0)
         kernel.modify_page_flags(
-            seg, 0, 1, clear_flags=PageFlags.READ | PageFlags.WRITE
+            ModifyPageFlagsRequest(
+                seg, 0, 1, clear_flags=PageFlags.READ | PageFlags.WRITE
+            )
         )
         kernel.reference(seg, 0)  # restored by the base protection policy
         flags = PageFlags(seg.pages[0].flags)
@@ -120,4 +129,4 @@ class TestReturnFramesEdge:
     def test_release_frames_with_nothing_resident(self, world):
         kernel, spcm = world
         manager = GenericSegmentManager(kernel, spcm, "bare", initial_frames=4)
-        assert manager.release_frames(10) == 4
+        assert manager.release_frames(FrameDemand(10)).n_frames == 4

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import build_system
+from repro.core.api import FrameDemand
 from repro.core.kernel import Kernel
 from repro.hw.phys_mem import PhysicalMemory
 from repro.managers.base import GenericSegmentManager
@@ -77,7 +78,7 @@ class TestMultiManagerContention:
         discard.mark_discardable(x_seg, 0, 8)
         dbms.discard_segment(d_seg)
         discard.reclaim_pages(8)
-        generic.release_frames(8)
+        generic.release_frames(FrameDemand(8))
         kernel.check_frame_conservation()
         assert dbms.pool_frames["relations"] == 0
         assert discard.writebacks_avoided > 0

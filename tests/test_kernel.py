@@ -4,6 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import (
+    GetPageAttributesRequest,
+    MigratePagesRequest,
+    ModifyPageFlagsRequest,
+    SetSegmentManagerRequest,
+)
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
 from repro.core.manager_api import SegmentManager
@@ -68,7 +74,7 @@ class TestSegmentLifecycle:
     def test_delete_sweeps_frames_back(self, bare_kernel):
         boot = bare_kernel.initial_segment
         seg = bare_kernel.create_segment(4, name="dying")
-        bare_kernel.migrate_pages(boot, seg, 0, 0, 2)
+        bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 0, 0, 2))
         before = boot.resident_pages
         bare_kernel.delete_segment(seg)
         assert boot.resident_pages == before + 2
@@ -118,17 +124,19 @@ class TestSetSegmentManager:
         m1, m2 = NullManager(bare_kernel), NullManager(bare_kernel)
         m2.name = "null2"
         seg = bare_kernel.create_segment(4)
-        bare_kernel.set_segment_manager(seg, m1)
+        bare_kernel.set_segment_manager(SetSegmentManagerRequest(seg, m1))
         assert seg.manager is m1
         assert seg.seg_id in m1.managed
-        bare_kernel.set_segment_manager(seg, m2)
+        bare_kernel.set_segment_manager(SetSegmentManagerRequest(seg, m2))
         assert seg.seg_id not in m1.managed
         assert seg.seg_id in m2.managed
 
     def test_charges_meter(self, bare_kernel):
         seg = bare_kernel.create_segment(4)
         before = bare_kernel.meter.total_us
-        bare_kernel.set_segment_manager(seg, NullManager(bare_kernel))
+        bare_kernel.set_segment_manager(
+            SetSegmentManagerRequest(seg, NullManager(bare_kernel))
+        )
         assert bare_kernel.meter.total_us > before
 
 
@@ -136,12 +144,15 @@ class TestMigratePages:
     def test_moves_frames_and_updates_ownership(self, bare_kernel):
         boot = bare_kernel.initial_segment
         seg = bare_kernel.create_segment(8)
-        moved = bare_kernel.migrate_pages(boot, seg, 10, 2, 3)
-        assert len(moved) == 3
-        for i, frame in enumerate(moved):
+        result = bare_kernel.migrate_pages(
+            MigratePagesRequest(boot, seg, 10, 2, 3)
+        )
+        assert result.n_pages == 3
+        for i, pfn in enumerate(result.moved_pfns):
+            frame = seg.pages[2 + i]
+            assert frame.pfn == pfn
             assert frame.owner_segment_id == seg.seg_id
             assert frame.page_index == 2 + i
-            assert seg.pages[2 + i] is frame
             assert 10 + i not in boot.pages
         bare_kernel.check_frame_conservation()
 
@@ -149,16 +160,18 @@ class TestMigratePages:
         boot = bare_kernel.initial_segment
         seg = bare_kernel.create_segment(4)
         boot.pages[0].flags = int(PageFlags.rw() | PageFlags.DIRTY)
-        moved = bare_kernel.migrate_pages(
-            boot,
-            seg,
-            0,
-            0,
-            1,
-            set_flags=PageFlags.REFERENCED,
-            clear_flags=PageFlags.DIRTY,
+        bare_kernel.migrate_pages(
+            MigratePagesRequest(
+                boot,
+                seg,
+                0,
+                0,
+                1,
+                set_flags=PageFlags.REFERENCED,
+                clear_flags=PageFlags.DIRTY,
+            )
         )
-        flags = PageFlags(moved[0].flags)
+        flags = PageFlags(seg.pages[0].flags)
         assert PageFlags.REFERENCED in flags
         assert PageFlags.DIRTY not in flags
 
@@ -166,21 +179,21 @@ class TestMigratePages:
         a = bare_kernel.create_segment(4)
         b = bare_kernel.create_segment(4)
         with pytest.raises(MigrationError):
-            bare_kernel.migrate_pages(a, b, 0, 0, 1)
+            bare_kernel.migrate_pages(MigratePagesRequest(a, b, 0, 0, 1))
 
     def test_destination_must_be_empty(self, bare_kernel):
         boot = bare_kernel.initial_segment
         seg = bare_kernel.create_segment(4)
-        bare_kernel.migrate_pages(boot, seg, 0, 0, 1)
+        bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 0, 0, 1))
         with pytest.raises(MigrationError):
-            bare_kernel.migrate_pages(boot, seg, 1, 0, 1)
+            bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 1, 0, 1))
 
     def test_validation_happens_before_mutation(self, bare_kernel):
         boot = bare_kernel.initial_segment
         seg = bare_kernel.create_segment(4)
-        bare_kernel.migrate_pages(boot, seg, 0, 2, 1)  # occupy page 2
+        bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 0, 2, 1))  # occupy page 2
         with pytest.raises(MigrationError):
-            bare_kernel.migrate_pages(boot, seg, 1, 1, 2)  # 2 collides
+            bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 1, 1, 2))  # 2 collides
         assert 1 not in seg.pages  # nothing moved
         bare_kernel.check_frame_conservation()
 
@@ -190,20 +203,26 @@ class TestMigratePages:
         small = kernel.create_segment(4)
         big = kernel.create_segment(4, page_size=16384)
         with pytest.raises(MigrationError):
-            kernel.migrate_pages(kernel.boot_segments[4096], big, 0, 0, 1)
+            kernel.migrate_pages(
+                MigratePagesRequest(kernel.boot_segments[4096], big, 0, 0, 1)
+            )
         with pytest.raises(MigrationError):
-            kernel.migrate_pages(kernel.boot_segments[16384], small, 0, 0, 1)
+            kernel.migrate_pages(
+                MigratePagesRequest(kernel.boot_segments[16384], small, 0, 0, 1)
+            )
 
     def test_migration_into_read_only_segment_is_a_write(self, bare_kernel):
         """Migrating a frame to a segment is a write for protection (S2.1)."""
         ro = bare_kernel.create_segment(4, prot=PageFlags.READ)
         with pytest.raises(ProtectionError):
-            bare_kernel.migrate_pages(bare_kernel.initial_segment, ro, 0, 0, 1)
+            bare_kernel.migrate_pages(
+                MigratePagesRequest(bare_kernel.initial_segment, ro, 0, 0, 1)
+            )
 
     def test_auto_grow_destination(self, bare_kernel):
         boot = bare_kernel.initial_segment
         seg = bare_kernel.create_segment(0, auto_grow=True)
-        bare_kernel.migrate_pages(boot, seg, 0, 5, 2)
+        bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 0, 5, 2))
         assert seg.n_pages == 7
 
     def test_zero_fill_flag_zeroes_in_transit(self, bare_kernel):
@@ -213,7 +232,7 @@ class TestMigratePages:
         frame.write(b"secret")
         frame.flags |= int(PageFlags.ZERO_FILL)
         zero_charges = bare_kernel.meter.by_category.get("zero_fill", 0.0)
-        bare_kernel.migrate_pages(boot, seg, 0, 0, 1)
+        bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 0, 0, 1))
         assert frame.read(0, 6) == bytes(6)
         assert not PageFlags.ZERO_FILL & PageFlags(frame.flags)
         assert bare_kernel.meter.by_category["zero_fill"] > zero_charges
@@ -225,7 +244,7 @@ class TestMigratePages:
         boot = bare_kernel.initial_segment
         seg = bare_kernel.create_segment(4)
         boot.pages[0].write(b"keep")
-        bare_kernel.migrate_pages(boot, seg, 0, 0, 1)
+        bare_kernel.migrate_pages(MigratePagesRequest(boot, seg, 0, 0, 1))
         assert seg.pages[0].read(0, 4) == b"keep"
         assert bare_kernel.stats.zero_fills == 0
 
@@ -233,18 +252,22 @@ class TestMigratePages:
         seg = bare_kernel.create_segment(4)
         with pytest.raises(MigrationError):
             bare_kernel.migrate_pages(
-                bare_kernel.initial_segment,
-                seg,
-                0,
-                0,
-                1,
-                set_flags=PageFlags(1 << 12),
+                MigratePagesRequest(
+                    bare_kernel.initial_segment,
+                    seg,
+                    0,
+                    0,
+                    1,
+                    set_flags=PageFlags(1 << 12),
+                )
             )
 
     def test_stats_and_attribution(self, bare_kernel):
         seg = bare_kernel.create_segment(8)
         with bare_kernel.attribute("someone"):
-            bare_kernel.migrate_pages(bare_kernel.initial_segment, seg, 0, 0, 4)
+            bare_kernel.migrate_pages(
+                MigratePagesRequest(bare_kernel.initial_segment, seg, 0, 0, 4)
+            )
         assert bare_kernel.stats.migrate_calls == 1
         assert bare_kernel.stats.pages_migrated == 4
         assert bare_kernel.stats.migrate_calls_by_manager["someone"] == 1
@@ -253,22 +276,26 @@ class TestMigratePages:
 class TestModifyPageFlags:
     def test_modifies_present_pages_only(self, bare_kernel):
         seg = bare_kernel.create_segment(8)
-        bare_kernel.migrate_pages(bare_kernel.initial_segment, seg, 0, 0, 2)
-        modified = bare_kernel.modify_page_flags(
-            seg, 0, 8, set_flags=PageFlags.PINNED
+        bare_kernel.migrate_pages(
+            MigratePagesRequest(bare_kernel.initial_segment, seg, 0, 0, 2)
         )
-        assert modified == 2
+        result = bare_kernel.modify_page_flags(
+            ModifyPageFlagsRequest(seg, 0, 8, set_flags=PageFlags.PINNED)
+        )
+        assert result.modified == 2
         assert PageFlags.PINNED & PageFlags(seg.pages[0].flags)
 
     def test_rejects_unsupported_flags(self, bare_kernel):
         seg = bare_kernel.create_segment(4)
         with pytest.raises(SegmentError):
-            bare_kernel.modify_page_flags(seg, 0, 1, set_flags=PageFlags(1 << 12))
+            bare_kernel.modify_page_flags(
+                ModifyPageFlagsRequest(seg, 0, 1, set_flags=PageFlags(1 << 12))
+            )
 
     def test_range_checked(self, bare_kernel):
         seg = bare_kernel.create_segment(4)
         with pytest.raises(SegmentError):
-            bare_kernel.modify_page_flags(seg, 2, 4)
+            bare_kernel.modify_page_flags(ModifyPageFlagsRequest(seg, 2, 4))
 
 
 class TestGetPageAttributes:
@@ -276,8 +303,12 @@ class TestGetPageAttributes:
         """Physical addresses are exported deliberately --- they enable
         page coloring and placement control (S1)."""
         seg = bare_kernel.create_segment(4)
-        bare_kernel.migrate_pages(bare_kernel.initial_segment, seg, 3, 1, 1)
-        attrs = bare_kernel.get_page_attributes(seg, 0, 3)
+        bare_kernel.migrate_pages(
+            MigratePagesRequest(bare_kernel.initial_segment, seg, 3, 1, 1)
+        )
+        attrs = bare_kernel.get_page_attributes(
+            GetPageAttributesRequest(seg, 0, 3)
+        ).attributes
         assert [a.page for a in attrs] == [0, 1, 2]
         assert not attrs[0].present and attrs[0].pfn is None
         assert attrs[1].present

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import FrameDemand, ModifyPageFlagsRequest
 from repro.core.faults import FaultKind, PageFault
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
@@ -148,7 +149,9 @@ class TestReclamation:
         kernel, _, manager = world
         seg = kernel.create_segment(4, manager=manager)
         kernel.reference(seg, 0)
-        kernel.modify_page_flags(seg, 0, 1, set_flags=PageFlags.PINNED)
+        kernel.modify_page_flags(
+            ModifyPageFlagsRequest(seg, 0, set_flags=PageFlags.PINNED)
+        )
         assert manager.select_victims(4) == []
 
 
@@ -169,7 +172,7 @@ class TestKernelEvents:
         for page in range(12):
             kernel.reference(seg, page * 4096)
         available = spcm.available_frames()
-        freed = manager.release_frames(8)
+        freed = manager.release_frames(FrameDemand(8)).n_frames
         assert freed == 8
         assert spcm.available_frames() == available + 8
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import MigratePagesRequest
 from repro.core.kernel import Kernel
 from repro.errors import MigrationError
 
@@ -24,37 +25,42 @@ class TestMigrateThroughBindings:
         segment labeled Data Segment.'"""
         kernel, vas, data = world
         boot = kernel.initial_segment
-        moved = kernel.migrate_pages(boot, vas, 0, 18, 1)
+        result = kernel.migrate_pages(MigratePagesRequest(boot, vas, 0, 18, 1))
         assert 18 not in vas.pages           # the VAS holds nothing itself
-        assert data.pages[2] is moved[0]     # page 18 - 16 = 2 of data
+        # page 18 - 16 = 2 of data
+        assert data.pages[2].pfn == result.moved_pfns[0]
         kernel.check_frame_conservation()
 
     def test_reclaiming_from_a_vas_range(self, world):
         kernel, vas, data = world
         boot = kernel.initial_segment
-        kernel.migrate_pages(boot, data, 0, 2, 1)
+        kernel.migrate_pages(MigratePagesRequest(boot, data, 0, 2, 1))
         spare = kernel.create_segment(4, name="spare")
-        kernel.migrate_pages(vas, spare, 18, 0, 1)
+        kernel.migrate_pages(MigratePagesRequest(vas, spare, 18, 0, 1))
         assert 2 not in data.pages
         assert 0 in spare.pages
 
     def test_multi_page_unit_through_binding(self, world):
         kernel, vas, data = world
         boot = kernel.initial_segment
-        kernel.migrate_pages(boot, vas, 0, 16, 4)
+        kernel.migrate_pages(MigratePagesRequest(boot, vas, 0, 16, 4))
         assert sorted(data.pages) == [0, 1, 2, 3]
 
     def test_range_straddling_the_region_boundary_rejected(self, world):
         kernel, vas, data = world
         boot = kernel.initial_segment
         with pytest.raises(MigrationError):
-            kernel.migrate_pages(boot, vas, 0, 22, 4)  # crosses page 24
+            kernel.migrate_pages(
+                MigratePagesRequest(boot, vas, 0, 22, 4)  # crosses page 24
+            )
         kernel.check_frame_conservation()
 
     def test_unbound_vas_range_is_the_vas_itself(self, world):
         kernel, vas, data = world
         boot = kernel.initial_segment
-        kernel.migrate_pages(boot, vas, 0, 0, 1)  # below the binding
+        kernel.migrate_pages(
+            MigratePagesRequest(boot, vas, 0, 0, 1)  # below the binding
+        )
         assert 0 in vas.pages
         assert data.resident_pages == 0
 
@@ -65,7 +71,9 @@ class TestMigrateThroughBindings:
         top = kernel.create_segment(8, name="top")
         mid.bind(4, 4, leaf, 0)
         top.bind(0, 4, mid, 4)
-        kernel.migrate_pages(kernel.initial_segment, top, 0, 1, 1)
+        kernel.migrate_pages(
+            MigratePagesRequest(kernel.initial_segment, top, 0, 1, 1)
+        )
         assert leaf.pages.keys() == {1}
 
     def test_cow_via_binding_still_copies(self, memory):
@@ -73,11 +81,11 @@ class TestMigrateThroughBindings:
         kernel = Kernel(memory)
         source = kernel.create_segment(4, name="src")
         boot = kernel.initial_segment
-        kernel.migrate_pages(boot, source, 0, 0, 1)
+        kernel.migrate_pages(MigratePagesRequest(boot, source, 0, 0, 1))
         source.pages[0].write(b"cowdata")
         shadow = kernel.create_segment(4, name="shadow", cow_source=source)
         vas = kernel.create_segment(8, name="vas")
         vas.bind(0, 4, shadow, 0)
-        moved = kernel.migrate_pages(boot, vas, 1, 0, 1)
-        assert moved[0].read(0, 7) == b"cowdata"
+        kernel.migrate_pages(MigratePagesRequest(boot, vas, 1, 0, 1))
+        assert shadow.pages[0].read(0, 7) == b"cowdata"
         assert kernel.stats.cow_copies == 1

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import MigratePagesRequest
 from repro.core.kernel import Kernel
 from repro.errors import MigrationError
 from repro.hw.phys_mem import PhysicalMemory
@@ -89,11 +90,15 @@ class TestLargePageSegments:
         large = kernel.create_segment(4, page_size=LARGE)
         with pytest.raises(MigrationError):
             kernel.migrate_pages(
-                kernel.boot_segments[LARGE], small, 0, 0, 1
+                MigratePagesRequest(
+                    kernel.boot_segments[LARGE], small, 0, 0, 1
+                )
             )
         with pytest.raises(MigrationError):
             kernel.migrate_pages(
-                kernel.boot_segments[4096], large, 0, 0, 1
+                MigratePagesRequest(
+                    kernel.boot_segments[4096], large, 0, 0, 1
+                )
             )
 
     def test_large_frame_data_roundtrip(self, world):

@@ -5,6 +5,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.api import ModifyPageFlagsRequest
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
 from repro.hw.phys_mem import PhysicalMemory
@@ -98,7 +99,9 @@ def test_clock_never_evicts_referenced_while_unreferenced_remain(
     for page in range(N_PAGES):
         kernel.reference(seg, page * 4096)
         kernel.modify_page_flags(
-            seg, page, 1, clear_flags=PageFlags.REFERENCED
+            ModifyPageFlagsRequest(
+                seg, page, 1, clear_flags=PageFlags.REFERENCED
+            )
         )
     for page in referenced_pages:
         kernel.reference(seg, page * 4096)

@@ -17,6 +17,7 @@ from hypothesis.stateful import (
     rule,
 )
 
+from repro.core.api import MigratePagesRequest
 from repro.core.kernel import Kernel
 from repro.errors import KernelError, OutOfFramesError
 from repro.hw.phys_mem import PhysicalMemory
@@ -90,7 +91,9 @@ class KernelMachine(RuleBasedStateMachine):
         if source is dest:
             return
         if src_page in source.pages and dst_page not in dest.pages:
-            self.kernel.migrate_pages(source, dest, src_page, dst_page, 1)
+            self.kernel.migrate_pages(
+                MigratePagesRequest(source, dest, src_page, dst_page, 1)
+            )
             # bookkeeping the manager would do
             self.manager._resident.pop((source.seg_id, src_page), None)
             self.manager._resident[(dest.seg_id, dst_page)] = None

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import MigratePagesRequest, ModifyPageFlagsRequest
 from repro.core.faults import FaultKind
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
@@ -143,7 +144,9 @@ class TestProtectionFaults:
         seg = kernel.create_segment(8, manager=manager)
         kernel.reference(seg, 0, write=True)
         kernel.modify_page_flags(
-            seg, 0, 1, clear_flags=PageFlags.READ | PageFlags.WRITE
+            ModifyPageFlagsRequest(
+                seg, 0, clear_flags=PageFlags.READ | PageFlags.WRITE
+            )
         )
         faults = kernel.stats.faults
         kernel.reference(seg, 0, write=False)  # default manager restores
@@ -154,7 +157,9 @@ class TestProtectionFaults:
         kernel, _, manager = world
         seg = kernel.create_segment(8, manager=manager)
         kernel.reference(seg, 0, write=True)
-        kernel.modify_page_flags(seg, 0, 1, clear_flags=PageFlags.WRITE)
+        kernel.modify_page_flags(
+            ModifyPageFlagsRequest(seg, 0, clear_flags=PageFlags.WRITE)
+        )
         assert kernel.tlb.lookup(seg.seg_id, 0) is None
 
     def test_binding_mask_protection_fault(self, world):
@@ -175,7 +180,7 @@ class TestMigrationShootdown:
         seg = kernel.create_segment(8, manager=manager)
         frame = kernel.reference(seg, 0, write=True)
         spare = kernel.create_segment(8)
-        kernel.migrate_pages(seg, spare, 0, 0, 1)
+        kernel.migrate_pages(MigratePagesRequest(seg, spare, 0, 0, 1))
         assert kernel.tlb.lookup(seg.seg_id, 0) is None
         assert kernel.page_table.lookup(seg.seg_id, 0) is None
         # next access faults and the manager provides a fresh frame

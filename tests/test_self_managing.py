@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.api import ModifyPageFlagsRequest
 from repro.core.flags import PageFlags
 from repro.errors import ManagerError
 from repro.managers.self_managing import SelfManagingManager
@@ -63,12 +64,13 @@ class TestActivation:
         original_set_manager = system.kernel.set_segment_manager
         stolen = {"done": False}
 
-        def thieving_set_manager(segment, new_manager):
-            original_set_manager(segment, new_manager)
+        def thieving_set_manager(request):
+            original_set_manager(request)
+            segment = system.kernel.segment(request.segment)
             # just after the manager assumes its data segment, the old
             # manager's clock steals a page (once)
             if (
-                new_manager is manager
+                request.manager is manager
                 and segment is manager.data_segment
                 and not stolen["done"]
                 and segment.pages
@@ -100,10 +102,12 @@ class TestSignalStack:
         # force the signal stack out from under the manager
         manager.unpin_segment(manager.signal_stack)
         system.kernel.modify_page_flags(
-            manager.signal_stack,
-            0,
-            manager.signal_stack.n_pages,
-            clear_flags=PageFlags.PINNED,
+            ModifyPageFlagsRequest(
+                manager.signal_stack,
+                0,
+                manager.signal_stack.n_pages,
+                clear_flags=PageFlags.PINNED,
+            )
         )
         for page in list(manager.signal_stack.pages):
             manager.reclaim_one(manager.signal_stack, page)
