@@ -52,6 +52,9 @@ class System:
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     #: the installed fault injector (the zero-overhead null one by default)
     injector: "object" = NULL_INJECTOR
+    #: the installed continuous-telemetry collector, if any (see
+    #: :func:`repro.obs.telemetry.install_telemetry`)
+    telemetry: "object | None" = None
 
     @property
     def meter(self) -> CostMeter:

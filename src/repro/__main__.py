@@ -1,21 +1,46 @@
-"""``python -m repro`` runs the full evaluation report.
+"""``python -m repro``: one front door for every driver in the repo.
 
-Pass ``--quick`` to shorten the Table-4 simulations.  The ``trace``
-subcommand (``python -m repro trace figure2|table1``) instead runs one
-experiment under the tracer and prints its fault-path profile (see
-:mod:`repro.obs.cli`); the ``chaos`` subcommand (``python -m repro chaos
-<scenario>``) runs seeded fault-injection schedules with the system-wide
-invariant checker on (see :mod:`repro.chaos.cli`); the ``bench numa``
-subcommand sweeps the NUMA node counts over sharded SPCMs and writes
-``BENCH_numa_scaleout.json`` (see :mod:`repro.analysis.numa_scaleout`).
+With no subcommand the full evaluation report runs (``--quick`` shortens
+the Table-4 simulations).  Subcommands dispatch to the dedicated CLIs:
+
+* ``trace figure2|table1`` --- run one experiment under the tracer and
+  print its fault-path profile (:mod:`repro.obs.cli`);
+* ``chaos <scenario>`` --- seeded fault-injection schedules with the
+  invariant checker and optional SLO watchdogs (:mod:`repro.chaos.cli`);
+* ``bench numa`` --- the NUMA scale-out sweep, writes
+  ``BENCH_numa_scaleout.json`` (:mod:`repro.analysis.numa_scaleout`);
+* ``bench diff`` --- compare current ``BENCH_*.json`` against committed
+  baselines, non-zero exit on regression (:mod:`repro.analysis.regression`);
+* ``top`` --- the continuous-telemetry dashboard, live or ``--replay``
+  (:mod:`repro.obs.dashboard`).
 """
 
 import sys
 
+USAGE = """\
+usage: python -m repro [subcommand] [options]
+
+subcommands:
+  (none)            run the full evaluation report (--quick to shorten)
+  trace <target>    trace figure2 or table1 and print the fault profile
+  chaos <scenario>  run a seeded fault-injection schedule (--slo for
+                    SLO watchdogs, --telemetry-out for a JSONL export)
+  bench numa        NUMA scale-out sweep -> BENCH_numa_scaleout.json
+  bench diff        diff BENCH_*.json against benchmarks/baselines
+  top               continuous-telemetry dashboard (--replay FILE)
+
+Run any subcommand with --help for its own options.
+"""
+
+BENCH_USAGE = "usage: python -m repro bench {numa|diff} [options]"
+
 
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch ``trace``/``chaos``/``bench`` to their CLIs, else report."""
+    """Dispatch subcommands to their CLIs, else run the report."""
     args = sys.argv[1:] if argv is None else argv
+    if args and args[0] in ("-h", "--help"):
+        print(USAGE, end="")
+        return 0
     if args and args[0] == "trace":
         from repro.obs.cli import main as trace_main
 
@@ -24,13 +49,21 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.cli import main as chaos_main
 
         return chaos_main(args[1:])
-    if args and args[0] == "bench":
-        if len(args) < 2 or args[1] != "numa":
-            print("usage: python -m repro bench numa [options]")
-            return 2
-        from repro.analysis.numa_scaleout import main as numa_main
+    if args and args[0] == "top":
+        from repro.obs.dashboard import main as top_main
 
-        return numa_main(args[2:])
+        return top_main(args[1:])
+    if args and args[0] == "bench":
+        if len(args) < 2 or args[1] not in ("numa", "diff"):
+            print(BENCH_USAGE)
+            return 2
+        if args[1] == "numa":
+            from repro.analysis.numa_scaleout import main as numa_main
+
+            return numa_main(args[2:])
+        from repro.analysis.regression import main as diff_main
+
+        return diff_main(args[2:])
     from repro.analysis.report import main as report_main
 
     return report_main(args) or 0

@@ -119,6 +119,15 @@ def run_scaleout(
         results.append(row)
     return {
         "experiment": "numa_scaleout",
+        # run-identity header: the bench differ refuses to compare
+        # reports whose schema_version or meta disagree
+        "schema_version": 1,
+        "meta": {
+            "memory_mb": memory_mb,
+            "total_faults": total_faults,
+            "node_counts": list(node_counts),
+            "quick": False,
+        },
         "memory_mb": memory_mb,
         "total_faults": total_faults,
         "node_counts": list(node_counts),

@@ -50,6 +50,24 @@ def main(argv: list[str] | None = None) -> int:
         "per-shard conservation invariant)",
     )
     parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="arm the SLO watchdogs (p99 fault latency, failover time, "
+        "frame and market conservation drift) and report their alerts",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="FILE",
+        help="sample continuous telemetry during each schedule and write "
+        "the last schedule's series (plus any SLO alerts) as JSONL",
+    )
+    parser.add_argument(
+        "--telemetry-interval-us",
+        type=float,
+        default=500.0,
+        help="telemetry sampling interval in simulated us (default 500)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -60,27 +78,53 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name.ljust(width)}  {SCENARIOS[name].description}")
         return 0
 
+    interval = (
+        args.telemetry_interval_us if args.telemetry_out else None
+    )
     failures = 0
+    last_result = None
     for i in range(args.schedules):
         seed = args.seed + i
         try:
-            result = run_schedule(args.scenario, seed, n_nodes=args.nodes)
+            result = run_schedule(
+                args.scenario,
+                seed,
+                n_nodes=args.nodes,
+                slo=args.slo,
+                telemetry_interval_us=interval,
+            )
         except InvariantViolationError as exc:
             failures += 1
             print(f"seed {seed:>4}: INVARIANT VIOLATION: {exc}")
             continue
+        last_result = result
         outcome = (
             "completed"
             if result.completed
             else f"stopped ({result.error_type}: {result.error})"
         )
+        slo_note = f", {result.n_alerts} SLO alert(s)" if args.slo else ""
         print(
             f"seed {seed:>4}: {outcome}; {result.n_injected} injected "
             f"{dict(sorted(result.injected.items()))}, "
             f"{result.failovers} failover(s), "
             f"{result.fallback_resolutions} fallback resolution(s), "
-            f"{result.checks_run} invariant sweep(s)"
+            f"{result.checks_run} invariant sweep(s)" + slo_note
         )
+    if args.telemetry_out and last_result is not None:
+        from repro.obs.telemetry import write_jsonl
+
+        if last_result.telemetry is not None:
+            write_jsonl(
+                last_result.telemetry,
+                args.telemetry_out,
+                alerts=last_result.alerts,
+            )
+            print(
+                f"wrote {args.telemetry_out} "
+                f"({len(last_result.telemetry.samples())} sample(s), "
+                f"{last_result.n_alerts} alert(s))"
+            )
     if failures:
         print(f"{failures}/{args.schedules} schedule(s) violated invariants")
         return 1

@@ -60,10 +60,18 @@ class ChaosResult:
     kernel_stats: dict[str, float] = field(default_factory=dict)
     #: references the workload completed before stopping
     references: int = 0
+    #: SLO alerts fired during the run (``run_schedule(..., slo=True)``)
+    alerts: list = field(default_factory=list)
+    #: the telemetry collector, when sampling was requested
+    telemetry: object | None = None
 
     @property
     def n_injected(self) -> int:
         return sum(self.injected.values())
+
+    @property
+    def n_alerts(self) -> int:
+        return len(self.alerts)
 
     @property
     def fallback_resolutions(self) -> int:
@@ -340,6 +348,9 @@ def run_schedule(
     plan: ChaosPlan | None = None,
     tracer=None,
     n_nodes: int | None = None,
+    slo: bool = False,
+    slo_policy=None,
+    telemetry_interval_us: float | None = None,
 ) -> ChaosResult:
     """Run one seeded fault schedule of ``scenario``.
 
@@ -349,6 +360,16 @@ def run_schedule(
     :class:`~repro.errors.ReproError` is recorded on the result.
     ``n_nodes`` shards the SPCM over that many NUMA nodes, which arms the
     per-shard frame-conservation invariant as well.
+
+    ``slo=True`` (or an explicit ``slo_policy``) arms the
+    :class:`~repro.obs.slo.SLOWatchdog`: its drift objectives are swept
+    after every injected event (alongside the invariant checker) and its
+    latency/failover objectives fire from the kernel hooks; the alerts
+    land on :attr:`ChaosResult.alerts`.  ``telemetry_interval_us``
+    additionally installs a continuous-telemetry collector sampling at
+    that simulated interval; the collector rides on
+    :attr:`ChaosResult.telemetry`.  Neither applies to the ``dbms``
+    scenario (no kernel in that loop).
     """
     spec = SCENARIOS.get(scenario)
     if spec is None:
@@ -365,6 +386,19 @@ def run_schedule(
     injector.install(system)
     checker = InvariantChecker(system.kernel)
     injector.observers.append(checker)
+    watchdog = None
+    if slo or slo_policy is not None:
+        from repro.obs.slo import SLOWatchdog
+
+        watchdog = SLOWatchdog(system, slo_policy).install()
+        injector.observers.append(watchdog)
+    collector = None
+    if telemetry_interval_us is not None:
+        from repro.obs.telemetry import install_telemetry
+
+        collector = install_telemetry(
+            system, interval_us=telemetry_interval_us
+        )
     result = ChaosResult(scenario=scenario, seed=seed, completed=False)
     try:
         result.references = _WORKLOADS[spec.workload](system, checker)
@@ -378,6 +412,12 @@ def run_schedule(
     result.injected = injector.counts()
     result.checks_run = checker.checks_run
     result.kernel_stats = system.kernel.stats.as_dict()
+    if watchdog is not None:
+        watchdog.check()  # final sweep after the workload settles
+        result.alerts = list(watchdog.alerts)
+    if collector is not None:
+        collector.sample_now()  # close the series at the final sim time
+        result.telemetry = collector
     return result
 
 

@@ -199,6 +199,15 @@ class Kernel:
         # set while a failed-over fault is being retried, so the resolving
         # reference can be attributed to the fallback manager
         self._failover_pending = False
+        # continuous-telemetry listeners: called with the metered latency
+        # of each completed outermost fault service / failover.  Empty
+        # lists keep the fault path cost-free when telemetry is off.
+        self._fault_listeners: list = []
+        self._failover_listeners: list = []
+        # sim time at which an in-flight manager degradation was detected
+        # (failover duration is measured from here, not from reassignment)
+        self._degradation_start: float | None = None
+        self._fault_depth = 0
         self._segments: dict[int, Segment] = {}
         self._next_seg_id = 0
         # pfn -> {(space_id, vpn)} reverse map for translation shootdown
@@ -591,6 +600,12 @@ class Kernel:
                 frame.flags &= ~int(PageFlags.ZERO_FILL)
                 self.meter.charge("zero_fill", self.costs.zero_page)
                 self.stats.zero_fills += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "zeroing",
+                        f"zero-fill frame pfn={frame.pfn} in transit",
+                        self.costs.zero_page,
+                    )
             frame.flags = int(
                 (PageFlags(frame.flags) | set_flags) & ~clear_flags
             )
@@ -812,16 +827,43 @@ class Kernel:
 
     def _slow_reference(self, space: Segment, vpn: int, write: bool) -> PageFrame:
         """Full segment walk with fault dispatch and retry."""
-        if not self.tracer.enabled:
+        if not self.tracer.enabled and not self._fault_listeners:
             return self._handle_slow_reference(space, vpn, write)
-        with self.tracer.span(
-            "application",
-            "page_fault",
-            space=space.name,
-            vpn=vpn,
-            write=write,
-        ):
-            return self._handle_slow_reference(space, vpn, write)
+        before = self.meter.total_us
+        self._fault_depth += 1
+        try:
+            if not self.tracer.enabled:
+                return self._handle_slow_reference(space, vpn, write)
+            with self.tracer.span(
+                "application",
+                "page_fault",
+                space=space.name,
+                vpn=vpn,
+                write=write,
+            ):
+                return self._handle_slow_reference(space, vpn, write)
+        finally:
+            self._fault_depth -= 1
+            # only the outermost fault service is one end-to-end latency
+            # observation (a manager's fill may itself fault)
+            if self._fault_listeners and self._fault_depth == 0:
+                latency = self.meter.total_us - before
+                for listener in self._fault_listeners:
+                    listener(latency)
+
+    def on_fault_serviced(self, listener) -> None:
+        """Call ``listener(latency_us)`` after each outermost fault service.
+
+        The latency is the metered simulated cost of the whole slow path
+        (dispatches, retries, and failovers included).  Telemetry and the
+        SLO watchdogs subscribe here; with no listeners the fault path is
+        untouched.
+        """
+        self._fault_listeners.append(listener)
+
+    def on_failover(self, listener) -> None:
+        """Call ``listener(duration_us)`` after each manager failover."""
+        self._failover_listeners.append(listener)
 
     def _handle_slow_reference(
         self, space: Segment, vpn: int, write: bool
@@ -1018,10 +1060,16 @@ class Kernel:
             if outcome is ManagerFailureMode.CRASH:
                 # control transfers to the manager, which then dies
                 if manager.invocation is InvocationMode.SEPARATE_PROCESS:
-                    self.meter.charge(
-                        "fault_ipc",
-                        self.costs.ipc_message + self.costs.context_switch,
+                    ipc_cost = (
+                        self.costs.ipc_message + self.costs.context_switch
                     )
+                    self.meter.charge("fault_ipc", ipc_cost)
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "ipc",
+                            f"fault message to {manager.name} (crashes)",
+                            ipc_cost,
+                        )
                 else:
                     self.meter.charge("fault_upcall", self.costs.vpp_upcall)
                 raise ManagerCrashError(
@@ -1034,6 +1082,7 @@ class Kernel:
             self.stats.manager_crashes += 1
             if self._tracing:
                 self._step("kernel", f"manager crash detected: {crash}")
+            self._degradation_start = self.meter.total_us
             self._fail_over(segment, manager, fault, "crashed")
             return self.dispatch_fault(fault)
 
@@ -1042,10 +1091,12 @@ class Kernel:
     ) -> None:
         """One delivery: control transfer, handler, resumption charges."""
         if manager.invocation is InvocationMode.SEPARATE_PROCESS:
-            self.meter.charge(
-                "fault_ipc",
-                self.costs.ipc_message + self.costs.context_switch,
-            )
+            ipc_cost = self.costs.ipc_message + self.costs.context_switch
+            self.meter.charge("fault_ipc", ipc_cost)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "ipc", f"fault message to {manager.name}", ipc_cost
+                )
         else:
             self.meter.charge("fault_upcall", self.costs.vpp_upcall)
         if byzantine:
@@ -1062,10 +1113,12 @@ class Kernel:
                 ):
                     manager.handle_fault(fault)
         if manager.invocation is InvocationMode.SEPARATE_PROCESS:
-            self.meter.charge(
-                "fault_ipc",
-                self.costs.ipc_message + self.costs.context_switch,
-            )
+            ipc_cost = self.costs.ipc_message + self.costs.context_switch
+            self.meter.charge("fault_ipc", ipc_cost)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "ipc", f"reply message from {manager.name}", ipc_cost
+                )
             self.meter.charge("fault_resume", self.costs.vpp_kernel_resume)
         else:
             self.meter.charge("fault_resume", self.costs.vpp_resume_direct)
@@ -1100,6 +1153,12 @@ class Kernel:
             # the lost send still costs a message; then the kernel waits
             # out its reply timeout before redelivering
             self.meter.charge("fault_ipc", self.costs.ipc_message)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "ipc",
+                    f"lost fault message to {manager.name}",
+                    self.costs.ipc_message,
+                )
             self.meter.charge(
                 "manager_timeout", self.costs.manager_timeout_us
             )
@@ -1137,6 +1196,9 @@ class Kernel:
     ) -> None:
         """Per-fault timeout expired with no manager reply: fail over."""
         self.stats.manager_timeouts += 1
+        # the failover clock starts at detection: the timeout spent
+        # waiting is part of the failover latency the SLO budgets
+        self._degradation_start = self.meter.total_us
         self.meter.charge("manager_timeout", self.costs.manager_timeout_us)
         if self._tracing:
             self._step(
@@ -1172,6 +1234,12 @@ class Kernel:
             )
         self.stats.manager_failovers += 1
         manager.failed = True
+        # measure from detection when the caller marked it (timeout or
+        # crash); a byzantine distrust decision starts the clock here
+        failover_start = self._degradation_start
+        if failover_start is None:
+            failover_start = self.meter.total_us
+        self._degradation_start = None
         with self.tracer.span(
             "kernel",
             "manager_failover",
@@ -1194,6 +1262,10 @@ class Kernel:
             if self.spcm is not None:
                 self.spcm.seize_frames(manager)
         self._failover_pending = True
+        if self._failover_listeners:
+            duration = self.meter.total_us - failover_start
+            for listener in self._failover_listeners:
+                listener(duration)
 
     def retire_frame(self, frame: PageFrame) -> None:
         """Remove a frame from service after an uncorrectable ECC error.

@@ -10,11 +10,31 @@ The observability layer for the reproduction (see DESIGN.md):
   gauges, and :class:`~repro.sim.stats.Tally`-backed histograms;
 * :mod:`repro.obs.export` --- JSONL dump/load, flamegraph-style trees,
   and per-phase fault-latency breakdowns;
+* :mod:`repro.obs.telemetry` --- continuous sim-time gauge sampling over
+  a ring buffer (:class:`TelemetryCollector`);
+* :mod:`repro.obs.critical_path` --- critical-path extraction and
+  conservative latency attribution over span trees;
+* :mod:`repro.obs.slo` --- :class:`SLOWatchdog` structured alerting;
+* :mod:`repro.obs.dashboard` --- ``python -m repro top``;
 * :mod:`repro.obs.cli` --- ``python -m repro trace <target>``.
 """
 
+from repro.obs.critical_path import (
+    Attribution,
+    PathStep,
+    SpanTree,
+    analyze,
+    attribute,
+    critical_path,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.records import SpanRecord, TraceStep
+from repro.obs.slo import Alert, SLOPolicy, SLOWatchdog
+from repro.obs.telemetry import (
+    TelemetryCollector,
+    TelemetrySample,
+    install_telemetry,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -24,15 +44,27 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Alert",
+    "Attribution",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PathStep",
+    "SLOPolicy",
+    "SLOWatchdog",
     "SpanRecord",
+    "SpanTree",
+    "TelemetryCollector",
+    "TelemetrySample",
     "TraceStep",
     "Tracer",
+    "analyze",
+    "attribute",
+    "critical_path",
     "get_global_tracer",
+    "install_telemetry",
     "set_global_tracer",
 ]

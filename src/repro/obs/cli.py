@@ -19,6 +19,13 @@ import argparse
 import json
 import sys
 
+from repro.obs.critical_path import (
+    SpanTree,
+    attribute,
+    critical_path,
+    render_attribution,
+    render_critical_path,
+)
 from repro.obs.export import render_breakdown, render_flame, write_jsonl
 from repro.obs.trace import NULL_TRACER, Tracer, set_global_tracer
 
@@ -47,6 +54,11 @@ def _trace_figure2(tracer: Tracer) -> str:
         lines.append(render_flame(tracer, root))
     lines.append("")
     lines.append(render_breakdown(tracer))
+    tree = SpanTree(tracer.spans)
+    for root in tree.roots():
+        lines.append("")
+        lines.append(render_attribution(attribute(tree, tracer.events, root)))
+        lines.append(render_critical_path(critical_path(tree, root)))
     lines.append("")
     lines.append(f"metered cost of the fault: {delta:.1f} us")
     return "\n".join(lines)
@@ -79,6 +91,10 @@ def _trace_table1(tracer: Tracer, json_path: str | None) -> str:
     if json_path is not None:
         payload = {
             "benchmark": "table1_primitives",
+            # run-identity header: the bench differ refuses to compare
+            # payloads whose schema_version or meta disagree
+            "schema_version": 1,
+            "meta": {"n_nodes": 1, "seed": 0, "quick": False},
             "unit": "us",
             "rows": [
                 {

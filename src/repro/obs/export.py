@@ -40,6 +40,19 @@ JSONL_SCHEMA: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
         "span_id": ((int, type(None)), False),
         "t_us": ((int, float, type(None)), False),
     },
+    # continuous-telemetry records (see repro.obs.telemetry / repro.obs.slo)
+    "sample": {
+        "t_us": ((int, float), True),
+        "values": ((dict,), True),
+    },
+    "alert": {
+        "name": ((str,), True),
+        "severity": ((str,), True),
+        "t_us": ((int, float), True),
+        "value": ((int, float), True),
+        "threshold": ((int, float), True),
+        "detail": ((str,), False),
+    },
 }
 
 
@@ -113,8 +126,10 @@ def read_jsonl(
             raise ValueError(f"line {line_no}: {exc}") from None
         if record["type"] == "span":
             spans.append(SpanRecord.from_dict(record))
-        else:
+        elif record["type"] == "event":
             events.append(TraceStep.from_dict(record))
+        # sample/alert records (a combined telemetry export) are read by
+        # repro.obs.telemetry.read_jsonl; skip them here
     return spans, events
 
 

@@ -1,0 +1,267 @@
+"""SLO watchdogs: structured alerts when service objectives slip.
+
+A :class:`SLOWatchdog` observes a booted system continuously --- during
+healthy runs *and* chaos schedules --- and fires a structured
+:class:`Alert` the moment an objective is violated:
+
+* **fault p99 latency** --- the p99 of outermost fault-service latencies
+  (fed by :meth:`~repro.core.kernel.Kernel.on_fault_serviced`) exceeds
+  the policy threshold;
+* **failover time** --- one manager failover's metered duration exceeds
+  the budget;
+* **frame-conservation drift** --- the frame census disagrees with the
+  in-service frame count (a leak or double-ownership);
+* **market-balance drift** --- a shard market's dram total drifts from
+  its income/charge-conserving baseline, or the arbiter's zero-sum
+  transfer ledger stops summing to zero.
+
+Alerts are edge-triggered (one per objective per excursion; re-armed
+when the objective recovers) so a long violation doesn't flood the log.
+The watchdog is callable with the same shape as the chaos
+:class:`~repro.chaos.invariants.InvariantChecker`, so the harness runs
+it after every injected event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import Tally
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Thresholds the watchdog enforces.
+
+    The defaults are generous for healthy runs on the DECstation cost
+    model: a cached-file default-manager fault is ~5 ms end to end, so
+    20 ms p99 only fires when timeouts/retries pile up; failovers charge
+    the 5 ms manager timeout plus seizure work, so 50 ms means several
+    stacked degradations.  Drift thresholds are exact-conservation.
+    """
+
+    fault_p99_us: float = 20_000.0
+    #: observations needed before the p99 objective is judged
+    min_fault_samples: int = 20
+    failover_us: float = 50_000.0
+    frame_drift_frames: float = 0.0
+    market_drift_drams: float = 1e-6
+
+
+#: the default policy (module-level so callers can share one instance)
+DEFAULT_SLO = SLOPolicy()
+
+
+@dataclass
+class Alert:
+    """One structured SLO violation."""
+
+    name: str
+    severity: str  # "warning" | "critical"
+    t_us: float
+    value: float
+    threshold: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable rendering (JSONL ``alert`` record)."""
+        d: dict = {
+            "type": "alert",
+            "name": self.name,
+            "severity": self.severity,
+            "t_us": self.t_us,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+        if self.detail:
+            d["detail"] = self.detail
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Alert":
+        """Rebuild an alert from :meth:`to_dict` output."""
+        return cls(
+            name=str(d["name"]),
+            severity=str(d["severity"]),
+            t_us=float(d["t_us"]),
+            value=float(d["value"]),
+            threshold=float(d["threshold"]),
+            detail=str(d.get("detail", "")),
+        )
+
+
+class SLOWatchdog:
+    """Watches one booted system against an :class:`SLOPolicy`."""
+
+    def __init__(self, system, policy: SLOPolicy | None = None) -> None:
+        self.system = system
+        self.policy = policy if policy is not None else DEFAULT_SLO
+        self.alerts: list[Alert] = []
+        self.fault_latency = Tally("fault_service_us")
+        self.checks_run = 0
+        #: objectives currently in violation (edge-trigger state)
+        self._firing: set[str] = set()
+        self._installed = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def install(self) -> "SLOWatchdog":
+        """Subscribe to the kernel's fault/failover hooks."""
+        if self._installed:
+            return self
+        self._installed = True
+        kernel = self.system.kernel
+        kernel.on_fault_serviced(self._on_fault)
+        kernel.on_failover(self._on_failover)
+        return self
+
+    def __call__(self, _event=None) -> None:
+        """Observer form: the chaos injector calls this after each event."""
+        self.check()
+
+    # -- continuous observations -------------------------------------------
+
+    def _now(self) -> float:
+        return self.system.kernel.meter.total_us
+
+    def _on_fault(self, latency_us: float) -> None:
+        self.fault_latency.record(latency_us)
+        policy = self.policy
+        if self.fault_latency.count < policy.min_fault_samples:
+            return
+        p99 = self.fault_latency.percentile(99)
+        self._judge(
+            "fault_p99_latency",
+            p99,
+            policy.fault_p99_us,
+            severity="warning",
+            detail=(
+                f"p99 of {self.fault_latency.count} fault services is "
+                f"{p99:.0f} us"
+            ),
+        )
+
+    def _on_failover(self, duration_us: float) -> None:
+        # each failover is its own excursion: re-arm before judging
+        self._firing.discard("failover_time")
+        self._judge(
+            "failover_time",
+            duration_us,
+            self.policy.failover_us,
+            severity="warning",
+            detail=f"manager failover took {duration_us:.0f} us",
+        )
+
+    # -- swept objectives ---------------------------------------------------
+
+    def check(self) -> list[Alert]:
+        """Sweep the drift objectives; returns alerts fired by this sweep."""
+        self.checks_run += 1
+        before = len(self.alerts)
+        self._check_frame_drift()
+        self._check_market_drift()
+        return self.alerts[before:]
+
+    def _check_frame_drift(self) -> None:
+        kernel = self.system.kernel
+        try:
+            census = kernel.frame_census()
+        except Exception as exc:  # double ownership is itself the drift
+            self._fire(
+                "frame_conservation",
+                float("nan"),
+                self.policy.frame_drift_frames,
+                severity="critical",
+                detail=f"frame census failed: {exc}",
+            )
+            return
+        expected = kernel.memory.n_frames - len(kernel.retired_frames)
+        drift = float(expected - len(census))
+        self._judge(
+            "frame_conservation",
+            abs(drift),
+            self.policy.frame_drift_frames,
+            severity="critical",
+            detail=(
+                f"{abs(drift):.0f} frame(s) unaccounted for "
+                f"({len(census)} owned, {expected} in service)"
+            ),
+        )
+
+    def _check_market_drift(self) -> None:
+        # per-market conservation: every dram paid out came from the
+        # system sink, so balances + sink == net arbiter transfers in
+        markets = self.system.spcm.markets
+        if not markets:
+            return
+        threshold = self.policy.market_drift_drams
+        worst = 0.0
+        for market in markets:
+            drift = market.total_drams() - market.transfer_balance
+            worst = max(worst, abs(drift))
+        transfer_sum = abs(
+            sum(market.transfer_balance for market in markets)
+        )
+        worst = max(worst, transfer_sum)
+        self._judge(
+            "market_balance",
+            worst,
+            threshold,
+            severity="critical",
+            detail=(
+                f"worst dram drift {worst:.6g} "
+                f"(zero-sum transfer residue {transfer_sum:.6g})"
+            ),
+        )
+
+    # -- alert plumbing ------------------------------------------------------
+
+    def _judge(
+        self,
+        name: str,
+        value: float,
+        threshold: float,
+        severity: str,
+        detail: str,
+    ) -> None:
+        """Edge-triggered compare: fire on crossing, re-arm on recovery."""
+        if not value > threshold:
+            self._firing.discard(name)
+            return
+        self._fire(name, value, threshold, severity, detail)
+
+    def _fire(
+        self,
+        name: str,
+        value: float,
+        threshold: float,
+        severity: str,
+        detail: str,
+    ) -> None:
+        if name in self._firing:
+            return
+        self._firing.add(name)
+        self.alerts.append(
+            Alert(
+                name=name,
+                severity=severity,
+                t_us=self._now(),
+                value=value,
+                threshold=threshold,
+                detail=detail,
+            )
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def n_alerts(self) -> int:
+        """Total alerts fired so far."""
+        return len(self.alerts)
+
+    def summary(self) -> dict[str, int]:
+        """Alert counts by objective name."""
+        out: dict[str, int] = {}
+        for alert in self.alerts:
+            out[alert.name] = out.get(alert.name, 0) + 1
+        return out

@@ -26,6 +26,18 @@ class Engine:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._processes: list["Process"] = []
+        # observers invoked whenever the clock advances (telemetry
+        # sampling); empty list keeps the hot loop branch-predictable
+        self._tick_hooks: list[Callable[[], None]] = []
+
+    def add_tick_hook(self, hook: Callable[[], None]) -> None:
+        """Call ``hook()`` every time the virtual clock advances.
+
+        The telemetry collector registers its ``poll`` here so
+        engine-driven workloads (the DBMS study) are sampled on the
+        simulated-time interval without per-call instrumentation.
+        """
+        self._tick_hooks.append(hook)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``now + delay``."""
@@ -70,6 +82,9 @@ class Engine:
                 raise SimulationError("event heap time went backwards")
             self.now = when
             callback()
+            if self._tick_hooks:
+                for hook in self._tick_hooks:
+                    hook()
         if until is not None and until > self.now:
             self.now = until
         return self.now

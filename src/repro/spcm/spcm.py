@@ -168,6 +168,9 @@ class SystemPageCacheManager:
         self._last_account: dict[int, str] = {}
         self.frames_held: dict[str, int] = {}
         self._accounts: dict[str, str] = {}  # manager name -> account name
+        #: live manager objects by name (telemetry probes iterate these
+        #: for per-manager resident sets and dram balances)
+        self.managers: dict[str, SegmentManager] = {}
         self.deferred_requests = 0
         self.refused_requests = 0
         self.granted_frames = 0
@@ -224,6 +227,7 @@ class SystemPageCacheManager:
         """
         name = account or manager.name
         self._accounts[manager.name] = name
+        self.managers[manager.name] = manager
         self.frames_held.setdefault(name, 0)
         for shard in self.shards:
             shard.frames_held.setdefault(name, 0)
@@ -273,6 +277,19 @@ class SystemPageCacheManager:
                 out.update(shard.stats_dict())
             out.update(self.arbiter.stats_dict())
         return out
+
+    def dram_balance(self, account: str) -> float:
+        """An account's machine-wide dram balance (all shard markets).
+
+        0.0 when no market is configured --- the telemetry gauge reads
+        uniformly either way.
+        """
+        total = 0.0
+        for market in self.markets:
+            acct = market.accounts.get(account)
+            if acct is not None:
+                total += acct.balance
+        return total
 
     def local_hit_ratio(self) -> float:
         """Fraction of placement-hinted grants served from the home node."""

@@ -195,6 +195,38 @@ class TestMetrics:
         snap = r.snapshot()
         assert snap["response_s"]["mean"] == 10.0
 
+    def test_check_free_covers_every_kind_pair(self):
+        # a histogram name blocks the other metric kinds...
+        r = MetricsRegistry()
+        r.histogram("h")
+        with pytest.raises(ValueError):
+            r.counter("h")
+        with pytest.raises(ValueError):
+            r.gauge("h")
+        # ...but get-or-create of the same kind stays legal
+        assert r.histogram("h") is r.histogram("h")
+        r.gauge("g")
+        with pytest.raises(ValueError):
+            r.histogram("g")
+        # a bound provider prefix blocks every kind, including adoption
+        r.bind("prov", lambda: {})
+        with pytest.raises(ValueError):
+            r.gauge("prov")
+        with pytest.raises(ValueError):
+            r.histogram("prov")
+        with pytest.raises(ValueError):
+            r.bind_tally("prov", Tally("t"))
+
+    def test_bind_tally_of_already_bound_name_rejected(self):
+        r = MetricsRegistry()
+        r.bind_tally("resp", Tally("resp"))
+        with pytest.raises(ValueError):
+            r.bind_tally("resp", Tally("other"))
+        # and a name held by another kind is just as taken
+        r.counter("c")
+        with pytest.raises(ValueError):
+            r.bind_tally("c", Tally("c"))
+
     def test_snapshot_flattens_providers(self):
         r = MetricsRegistry()
         r.counter("faults").inc(3.0)
@@ -438,6 +470,23 @@ class TestSystemMetrics:
         assert "disk.reads" in snap
         assert "spcm.granted_frames" in snap
         assert snap["default_manager.faults_handled"] == 1.0
+
+    def test_snapshot_deterministic_across_identical_runs(self):
+        def run() -> dict:
+            system = build_system(memory_mb=8)
+            seg = system.kernel.create_segment(
+                8, name="m", manager=system.default_manager
+            )
+            for page in range(4):
+                system.kernel.reference(
+                    seg, page * seg.page_size, write=(page % 2 == 0)
+                )
+            return system.metrics_snapshot()
+
+        first, second = run(), run()
+        assert first == second
+        # key order is part of the export contract (byte-stable dumps)
+        assert list(first) == list(second)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,193 @@
+"""The bench regression gate: direction-aware diffs and exit codes."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.regression import (
+    ComparabilityError,
+    MetricDelta,
+    check_comparable,
+    compare,
+    extract_metrics,
+    load_payload,
+    main,
+)
+
+TABLE1 = {
+    "benchmark": "table1_primitives",
+    "schema_version": 1,
+    "meta": {"n_nodes": 1, "seed": 0, "quick": False},
+    "unit": "us",
+    "rows": [
+        {"name": "fault", "measured": 100.0, "paper": 100.0,
+         "relative_error": 0.0},
+        {"name": "read", "measured": 200.0, "paper": 200.0,
+         "relative_error": 0.0},
+    ],
+}
+
+NUMA = {
+    "experiment": "numa_scaleout",
+    "schema_version": 1,
+    "meta": {"memory_mb": 32, "total_faults": 2048,
+             "node_counts": [1, 2], "quick": False},
+    "results": [
+        {"n_nodes": 1, "throughput_faults_per_s": 1000.0,
+         "completion_us": 5000.0},
+        {"n_nodes": 2, "throughput_faults_per_s": 2000.0,
+         "completion_us": 2500.0},
+    ],
+}
+
+
+def _write(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return path
+
+
+def _scaled_table1(factor):
+    payload = json.loads(json.dumps(TABLE1))
+    for row in payload["rows"]:
+        row["measured"] *= factor
+    return payload
+
+
+class TestDirectionAwareness:
+    def test_lower_better_slowdown_is_regression(self):
+        deltas = compare(TABLE1, _scaled_table1(1.2), "t")
+        assert all(d.direction == "lower" for d in deltas)
+        assert all(d.regression == pytest.approx(0.2) for d in deltas)
+        assert all(d.status(0.15) == "REGRESSED" for d in deltas)
+
+    def test_lower_better_speedup_is_improvement(self):
+        deltas = compare(TABLE1, _scaled_table1(0.5), "t")
+        assert all(d.status(0.15) == "improved" for d in deltas)
+
+    def test_higher_better_throughput_drop_is_regression(self):
+        current = json.loads(json.dumps(NUMA))
+        for row in current["results"]:
+            row["throughput_faults_per_s"] *= 0.5
+        deltas = compare(NUMA, current, "n")
+        by_name = {d.name: d for d in deltas}
+        assert (
+            by_name["1-node throughput (faults/s)"].status(0.15)
+            == "REGRESSED"
+        )
+        # completion times unchanged: still ok
+        assert by_name["1-node completion (us)"].status(0.15) == "ok"
+
+    def test_identical_payloads_all_ok(self):
+        for payload in (TABLE1, NUMA):
+            deltas = compare(payload, json.loads(json.dumps(payload)), "x")
+            assert all(d.status(0.15) == "ok" for d in deltas)
+            assert all(d.regression == 0.0 for d in deltas)
+
+    def test_within_tolerance_stays_ok(self):
+        deltas = compare(TABLE1, _scaled_table1(1.1), "t")
+        assert all(d.status(0.15) == "ok" for d in deltas)
+        assert all(d.status(0.05) == "REGRESSED" for d in deltas)
+
+
+class TestComparability:
+    def test_schema_version_mismatch_refused(self):
+        other = dict(TABLE1, schema_version=2)
+        with pytest.raises(ComparabilityError):
+            check_comparable(TABLE1, other, "t")
+
+    def test_meta_mismatch_refused(self):
+        other = json.loads(json.dumps(TABLE1))
+        other["meta"]["seed"] = 7
+        with pytest.raises(ComparabilityError):
+            compare(TABLE1, other, "t")
+
+    def test_missing_metric_refused(self):
+        other = json.loads(json.dumps(TABLE1))
+        other["rows"] = other["rows"][:1]
+        with pytest.raises(ComparabilityError):
+            compare(TABLE1, other, "t")
+
+    def test_headerless_payload_refused(self, tmp_path):
+        _write(tmp_path, "old.json", {"benchmark": "table1_primitives"})
+        with pytest.raises(ComparabilityError):
+            load_payload(str(tmp_path / "old.json"))
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(ComparabilityError):
+            extract_metrics(
+                {"schema_version": 1, "meta": {}, "benchmark": "???"}, "p"
+            )
+
+    def test_delta_fields(self):
+        d = MetricDelta("m", "lower", 100.0, 120.0, 0.2)
+        assert d.status(0.15) == "REGRESSED"
+        assert d.status(0.25) == "ok"
+
+
+class TestCliExitCodes:
+    def _dirs(self, tmp_path, current_table1, current_numa=None):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir()
+        cur.mkdir()
+        _write(base, "BENCH_table1.json", TABLE1)
+        _write(base, "BENCH_numa_scaleout.json", NUMA)
+        _write(cur, "BENCH_table1.json", current_table1)
+        _write(cur, "BENCH_numa_scaleout.json", current_numa or NUMA)
+        return str(base), str(cur)
+
+    def _run(self, base, cur, tolerance=0.15):
+        return main(
+            [
+                "--baseline-dir", base,
+                "--current-dir", cur,
+                "--tolerance", str(tolerance),
+            ]
+        )
+
+    def test_identical_exits_zero(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path, TABLE1)
+        assert self._run(base, cur) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_twenty_percent_slowdown_exits_one(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path, _scaled_table1(1.2))
+        assert self._run(base, cur) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_meta_mismatch_exits_two(self, tmp_path, capsys):
+        bad = json.loads(json.dumps(TABLE1))
+        bad["meta"]["quick"] = True
+        base, cur = self._dirs(tmp_path, bad)
+        assert self._run(base, cur) == 2
+        assert "meta mismatch" in capsys.readouterr().err
+
+    def test_missing_current_file_exits_two(self, tmp_path):
+        base, cur = self._dirs(tmp_path, TABLE1)
+        os.remove(os.path.join(cur, "BENCH_numa_scaleout.json"))
+        assert self._run(base, cur) == 2
+
+
+class TestCommittedBaselines:
+    def test_baselines_carry_the_header(self):
+        for name in ("BENCH_table1.json", "BENCH_numa_scaleout.json"):
+            path = os.path.join("benchmarks", "baselines", name)
+            payload = load_payload(path)
+            assert payload["schema_version"] == 1
+            assert "meta" in payload
+
+    def test_committed_payloads_match_their_baselines(self):
+        # the working-tree BENCH files are regenerated artifacts; they
+        # must stay comparable to (and within tolerance of) the baselines
+        for name in ("BENCH_table1.json", "BENCH_numa_scaleout.json"):
+            baseline = load_payload(
+                os.path.join("benchmarks", "baselines", name)
+            )
+            current = load_payload(name)
+            deltas = compare(baseline, current, name)
+            assert all(d.status(0.15) != "REGRESSED" for d in deltas)
