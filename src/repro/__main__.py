@@ -11,6 +11,9 @@ the Table-4 simulations).  Subcommands dispatch to the dedicated CLIs:
   ``BENCH_numa_scaleout.json`` (:mod:`repro.analysis.numa_scaleout`);
 * ``bench diff`` --- compare current ``BENCH_*.json`` against committed
   baselines, non-zero exit on regression (:mod:`repro.analysis.regression`);
+* ``verify`` --- the conformance harness: run-twice determinism gate,
+  differential oracle against the baselines, schedule fuzzer, corpus
+  replay (:mod:`repro.verify.cli`);
 * ``top`` --- the continuous-telemetry dashboard, live or ``--replay``
   (:mod:`repro.obs.dashboard`).
 """
@@ -27,6 +30,8 @@ subcommands:
                     SLO watchdogs, --telemetry-out for a JSONL export)
   bench numa        NUMA scale-out sweep -> BENCH_numa_scaleout.json
   bench diff        diff BENCH_*.json against benchmarks/baselines
+  verify <check>    determinism gate, differential oracle, fuzzer, or
+                    corpus replay (exit 2: incomparable digest version)
   top               continuous-telemetry dashboard (--replay FILE)
 
 Run any subcommand with --help for its own options.
@@ -49,6 +54,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.cli import main as chaos_main
 
         return chaos_main(args[1:])
+    if args and args[0] == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(args[1:])
     if args and args[0] == "top":
         from repro.obs.dashboard import main as top_main
 

@@ -342,6 +342,37 @@ class UltrixVM:
         )
         return len(data)
 
+    # ------------------------------------------------------------------
+    # oracle extraction (verify differential harness)
+    # ------------------------------------------------------------------
+
+    def file_bytes(self, name: str) -> bytes:
+        """The final, authoritative contents of a file.
+
+        The differential oracle compares this against the V++ file
+        server's post-writeback bytes --- in ULTRIX the kernel's buffer
+        cache *is* the file, so the answer is simply the data array.
+        """
+        return bytes(self._files[name].data)
+
+    def page_bytes(
+        self, space: UltrixSpace, vpn: int, offset: int = 0,
+        length: int | None = None,
+    ) -> bytes:
+        """Resident bytes of one page, without touching the fault path.
+
+        Raises :class:`SegmentError` when the page is not resident ---
+        oracle schedules are sized so no comparison page was reclaimed,
+        and a silent zero-fill here would mask exactly the divergences
+        the oracle exists to catch.
+        """
+        frame = space.pages.get(vpn)
+        if frame is None:
+            raise SegmentError(
+                f"page {vpn} of space {space.space_id} is not resident"
+            )
+        return frame.read(offset, length)
+
     def _charge_transfer(
         self,
         category: str,

@@ -125,6 +125,26 @@ class UnixRetrofitVM(UltrixVM):
             )
         self._free.append(frame)  # type: ignore[arg-type]
 
+    def make_heap_manager(self) -> RetrofitHandler:
+        """The standard anonymous-heap manager the oracle installs.
+
+        On each fault it ioctl-allocates the missing page with no
+        supplied data (the manager "overwrites the frame", so the page's
+        initial contents are whatever the application stores --- matching
+        V++'s no-zero-fill-within-one-account semantics).  Returned as a
+        handler so tests can wrap it to count or perturb deliveries.
+        """
+
+        def handler(
+            vm: "UnixRetrofitVM",
+            space: UltrixSpace,
+            file_name: str,
+            file_page: int,
+        ) -> None:
+            vm.ioctl_allocate_page(file_name, file_page)
+
+        return handler
+
     # ------------------------------------------------------------------
     # mapped page-cache files
     # ------------------------------------------------------------------

@@ -87,12 +87,22 @@ class ChaosResult:
 # ---------------------------------------------------------------------------
 
 
-def _build(tracer=None, n_nodes=None):
+def build_workload_system(tracer=None, n_nodes=None):
+    """The small system every chaos/verify workload runs against.
+
+    Public because the determinism gate (:mod:`repro.verify.determinism`)
+    re-runs these exact workloads under its digest recorder and must boot
+    the identical machine.
+    """
     from repro import build_system
 
     return build_system(
         memory_mb=4, manager_frames=64, tracer=tracer, n_nodes=n_nodes
     )
+
+
+# back-compat alias (pre-verify name)
+_build = build_workload_system
 
 
 def _make_victim(system):
@@ -251,12 +261,17 @@ def _run_dbms(plan: ChaosPlan) -> ChaosResult:
     )
 
 
-_WORKLOADS = {
+#: workload name -> ``fn(system, checker) -> references`` (public: the
+#: verify determinism gate replays these under its digest recorder)
+WORKLOADS = {
     "figure2": _workload_figure2,
     "ecc": _workload_ecc,
     "disk": _workload_disk,
     "apps": _workload_apps,
 }
+
+# back-compat alias (pre-verify name)
+_WORKLOADS = WORKLOADS
 
 
 SCENARIOS: dict[str, Scenario] = {

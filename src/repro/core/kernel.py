@@ -204,6 +204,10 @@ class Kernel:
         # lists keep the fault path cost-free when telemetry is off.
         self._fault_listeners: list = []
         self._failover_listeners: list = []
+        # per-fault step listeners: called with the faulting (space, vpn,
+        # write, latency_us, pfn) of each completed outermost slow-path
+        # entry; the verify harness records its digest chain here
+        self._fault_step_listeners: list = []
         # sim time at which an in-flight manager degradation was detected
         # (failover duration is measured from here, not from reassignment)
         self._degradation_start: float | None = None
@@ -827,13 +831,19 @@ class Kernel:
 
     def _slow_reference(self, space: Segment, vpn: int, write: bool) -> PageFrame:
         """Full segment walk with fault dispatch and retry."""
-        if not self.tracer.enabled and not self._fault_listeners:
+        if (
+            not self.tracer.enabled
+            and not self._fault_listeners
+            and not self._fault_step_listeners
+        ):
             return self._handle_slow_reference(space, vpn, write)
         before = self.meter.total_us
         self._fault_depth += 1
+        frame: PageFrame | None = None
         try:
             if not self.tracer.enabled:
-                return self._handle_slow_reference(space, vpn, write)
+                frame = self._handle_slow_reference(space, vpn, write)
+                return frame
             with self.tracer.span(
                 "application",
                 "page_fault",
@@ -841,15 +851,20 @@ class Kernel:
                 vpn=vpn,
                 write=write,
             ):
-                return self._handle_slow_reference(space, vpn, write)
+                frame = self._handle_slow_reference(space, vpn, write)
+                return frame
         finally:
             self._fault_depth -= 1
             # only the outermost fault service is one end-to-end latency
             # observation (a manager's fill may itself fault)
-            if self._fault_listeners and self._fault_depth == 0:
+            if self._fault_depth == 0:
                 latency = self.meter.total_us - before
                 for listener in self._fault_listeners:
                     listener(latency)
+                if self._fault_step_listeners:
+                    pfn = frame.pfn if frame is not None else None
+                    for listener in self._fault_step_listeners:
+                        listener(space, vpn, write, latency, pfn)
 
     def on_fault_serviced(self, listener) -> None:
         """Call ``listener(latency_us)`` after each outermost fault service.
@@ -864,6 +879,17 @@ class Kernel:
     def on_failover(self, listener) -> None:
         """Call ``listener(duration_us)`` after each manager failover."""
         self._failover_listeners.append(listener)
+
+    def on_fault_step(self, listener) -> None:
+        """Call ``listener(space, vpn, write, latency_us, pfn)`` after each
+        outermost slow-path entry (fault service or slow reinstall).
+
+        ``pfn`` is the resolved frame number, or ``None`` when the slow
+        path raised.  The verify harness subscribes here to build its
+        per-fault incremental digest chain; with no listeners (and no
+        tracer) the fast path is untouched.
+        """
+        self._fault_step_listeners.append(listener)
 
     def _handle_slow_reference(
         self, space: Segment, vpn: int, write: bool

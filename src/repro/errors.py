@@ -124,3 +124,21 @@ class ChaosError(ReproError):
 
 class InvariantViolationError(ChaosError):
     """A system-wide invariant did not hold after an injected event."""
+
+
+class VerificationError(ReproError):
+    """Base class for errors raised by the conformance/determinism harness."""
+
+
+class DigestVersionError(VerificationError):
+    """A recorded digest chain or corpus entry was produced by a different
+    ``DIGEST_VERSION`` than the current tree computes.
+
+    Digests are only comparable within one version of the canonical state
+    encoding, so the harness refuses loudly (CLI exit code 2, mirroring
+    ``repro bench diff``) instead of reporting phantom divergences.
+    """
+
+
+class ScheduleFormatError(VerificationError):
+    """A workload schedule (corpus entry) was malformed or unreadable."""

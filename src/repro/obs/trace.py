@@ -62,6 +62,9 @@ class NullTracer:
     ) -> None:
         """Discard the event."""
 
+    def digest_event(self, step: int, digest: str, label: str = "") -> None:
+        """Discard the digest checkpoint."""
+
     def reset(self) -> None:
         """Nothing to clear."""
 
@@ -158,6 +161,17 @@ class Tracer:
                 t_us=self.now_us(),
             )
         )
+
+    def digest_event(self, step: int, digest: str, label: str = "") -> None:
+        """Record one verify digest-chain checkpoint as a trace event.
+
+        The determinism harness emits one per chain step when tracing is
+        on, so a trace export carries the digest chain inline: two traces
+        of the same seeded run can be diffed by their ``digest`` events
+        alone, without re-running the workload.
+        """
+        suffix = f" ({label})" if label else ""
+        self.event("digest", f"chain step {step}: {digest}{suffix}")
 
     def reset(self) -> None:
         """Drop collected records (open spans are abandoned, not closed)."""

@@ -61,3 +61,24 @@ class RandomSource:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability out of range: {p}")
         return self._rng.random() < p
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """One element of ``items`` drawn with the given relative weights.
+
+        The workload fuzzer biases its operation mix through this: weights
+        grow for operation kinds that recently uncovered new coverage.
+        """
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        point = self._rng.random() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+            acc += weight
+            if point < acc:
+                return item
+        return items[-1]

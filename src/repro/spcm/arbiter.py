@@ -94,6 +94,13 @@ class GlobalArbiter:
 
     # -- observability ------------------------------------------------------
 
+    def digest_rows(self) -> list:
+        """Canonical rows of the loan ledger for the verify state digest."""
+        return [
+            ("loan", borrower, lender, n)
+            for (borrower, lender), n in sorted(self.loans.items())
+        ] + [("loans_brokered", self.loans_brokered)]
+
     def stats_dict(self) -> dict[str, float]:
         """Flat values for a metrics-registry provider."""
         return {

@@ -298,6 +298,54 @@ class SystemPageCacheManager:
             return 1.0
         return self.local_grant_pages / hinted
 
+    def digest_rows(self) -> list:
+        """Canonical, deterministically ordered accounting rows.
+
+        The verify state digest (:mod:`repro.verify.digest`) hashes these
+        rather than reaching into private dicts, so the digest encoding
+        survives internal refactors as long as the *accounting* is
+        unchanged.  Rows cover the free pool, per-account holdings,
+        per-shard books, market balances, and the arbiter's loan ledger.
+        """
+        rows: list = [
+            ("granted", self.granted_frames),
+            ("seized", self.seized_frames),
+            ("retired", self.retired_frames),
+            ("deferred", self.deferred_requests),
+            ("refused", self.refused_requests),
+        ]
+        for size in sorted(self._free):
+            rows.append(("free", size, tuple(sorted(self._free[size]))))
+        for account in sorted(self.frames_held):
+            rows.append(("held", account, self.frames_held[account]))
+        for shard in self.shards:
+            rows.append(
+                (
+                    "shard",
+                    shard.node,
+                    shard.granted_frames,
+                    shard.local_grants,
+                    shard.loaned_grants,
+                    shard.retired_frames,
+                    tuple(sorted(shard.frames_held.items())),
+                )
+            )
+            if shard.market is not None:
+                rows.append(
+                    (
+                        "market",
+                        shard.node,
+                        tuple(
+                            (name, acct.balance, acct.holding_mb)
+                            for name, acct in sorted(
+                                shard.market.accounts.items()
+                            )
+                        ),
+                    )
+                )
+        rows.extend(self.arbiter.digest_rows())
+        return rows
+
     # -- allocation ------------------------------------------------------------
 
     def request_frames(

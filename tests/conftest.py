@@ -1,11 +1,39 @@
-"""Shared fixtures."""
+"""Shared fixtures and hypothesis profiles.
+
+Two hypothesis profiles are registered so property tests behave the same
+on every machine:
+
+* ``default`` --- hypothesis defaults, for local exploration;
+* ``ci`` --- derandomized (fixed seed, no shared example database) with
+  the deadline disabled, so CI runs are reproducible and immune to
+  runner-speed flakiness.  Selected automatically when ``CI`` is set, or
+  explicitly with ``--hypothesis-profile=ci``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro import build_system
 from repro.hw.phys_mem import PhysicalMemory
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile("default", settings())
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        max_examples=50,
+        database=None,
+        print_blob=True,
+    )
+    settings.load_profile("ci" if os.environ.get("CI") else "default")
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 @pytest.fixture

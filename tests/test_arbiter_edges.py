@@ -1,0 +1,180 @@
+"""Edge cases of the global arbiter and sharded-SPCM bookkeeping.
+
+Backfill for the corners the sharded-SPCM suite skipped: cross-node
+loan repayment after a loaned frame is retired, dram rebalancing when a
+donor market is empty, and the hit-ratio denominator when nothing was
+ever placement-hinted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_system
+from repro.chaos.invariants import InvariantChecker
+from repro.managers.base import GenericSegmentManager
+from repro.spcm.arbiter import GlobalArbiter
+from repro.spcm.market import MarketConfig, MemoryMarket
+
+pytestmark = pytest.mark.verify
+
+
+def _sharded_system():
+    return build_system(memory_mb=4, manager_frames=16, n_nodes=2)
+
+
+def _node_of(system, frame) -> int:
+    return system.spcm.shard_of(frame.phys_addr).node
+
+
+class TestCrossNodeLoanRetirement:
+    def _borrowing_manager(self, system):
+        """A manager homed on node 0 whose demand overflows into node 1."""
+        spcm = system.spcm
+        manager = GenericSegmentManager(
+            system.kernel, spcm, "borrower", initial_frames=0, home_node=0
+        )
+        free_on_home = spcm.free_frames_by_node()[0]
+        granted = manager.request_frames(free_on_home + 16)
+        assert granted == free_on_home + 16
+        return manager
+
+    def test_overflow_demand_is_booked_as_a_loan(self):
+        system = _sharded_system()
+        manager = self._borrowing_manager(system)
+        arbiter = system.spcm.arbiter
+        assert arbiter.loans.get((0, 1), 0) >= 16
+        assert arbiter.loaned_to(0) >= 16
+        assert system.spcm.shards[1].loaned_grants >= 16
+        assert manager.free_frames > 16
+
+    def test_loan_repayment_after_loaned_frame_retired(self):
+        """Retiring a loaned frame must come off the lender shard's books
+        so the later repayment closes them out exactly (never negative)."""
+        system = _sharded_system()
+        spcm, kernel = system.spcm, system.kernel
+        manager = self._borrowing_manager(system)
+        account = spcm.account_of(manager)
+        shard1 = spcm.shards[1]
+        held_before = shard1.frames_held[account]
+
+        # pick one loaned (node-1) frame out of the free stock and let the
+        # kernel retire it (the ECC path: leaves the segment, then the
+        # SPCM takes it off the lender's books)
+        slot, frame = next(
+            (s, manager.free_segment.pages[s])
+            for s in manager._free_slots
+            if _node_of(system, manager.free_segment.pages[s]) == 1
+        )
+        kernel.retire_frame(frame)
+        manager._free_slots.remove(slot)
+        manager._drop_stale(slot)
+
+        assert shard1.frames_held[account] == held_before - 1
+        assert shard1.retired_frames == 1
+        assert spcm.retired_frames == 1
+        InvariantChecker(kernel).check_all()
+
+        # repay everything (node-1 frames surrendered first); the
+        # lender's ledger must land on exactly zero, not clamp from below
+        total_free = len(manager._free_slots)
+        returned = manager.return_frames(total_free, node=1)
+        assert returned == total_free
+        assert shard1.frames_held[account] == 0
+        InvariantChecker(kernel).check_all()
+
+    def test_retirement_of_free_pool_frame_charges_no_account(self):
+        """A frame retired while sitting in the free pool is nobody's
+        holding: shard retired count moves, no account's ledger does."""
+        system = _sharded_system()
+        spcm, kernel = system.spcm, system.kernel
+        boot = kernel.boot_segments[kernel.memory.page_size]
+        size = kernel.memory.page_size
+        free_page = spcm._free[size][0]
+        frame = boot.pages[free_page]
+        node = _node_of(system, frame)
+        held_before = dict(spcm.shards[node].frames_held)
+        kernel.retire_frame(frame)
+        assert spcm.shards[node].retired_frames == 1
+        assert spcm.shards[node].frames_held == held_before
+        InvariantChecker(kernel).check_all()
+
+
+class TestRebalanceEdges:
+    def _market(self, accounts: dict[str, tuple[float, float]]):
+        """A market holding ``name -> (balance, holding_mb)``."""
+        market = MemoryMarket(MarketConfig())
+        for name, (balance, holding) in accounts.items():
+            acct = market.open_account(name)
+            acct.balance = balance
+            acct.holding_mb = holding
+        return market
+
+    def test_zero_sum_with_empty_donor_market(self):
+        """A sibling market with no accounts at all neither crashes the
+        round nor absorbs drams; machine-wide drams are conserved."""
+        rich = self._market({"m": (40.0, 0.0)})
+        poor = self._market({"m": (0.0, 4.0)})
+        empty = self._market({})
+        arbiter = GlobalArbiter([rich, poor, empty])
+        moved = arbiter.rebalance_drams()
+        assert moved == pytest.approx(40.0)
+        # all drams follow the holdings: the account holds only in `poor`
+        assert rich.accounts["m"].balance == pytest.approx(0.0)
+        assert poor.accounts["m"].balance == pytest.approx(40.0)
+        assert not empty.accounts
+        total = sum(
+            m.accounts["m"].balance for m in (rich, poor)
+        )
+        assert total == pytest.approx(40.0)
+        # transfers are balanced pairs: the siblings' transfer balances
+        # cancel machine-wide
+        assert sum(
+            m.transfer_balance for m in (rich, poor, empty)
+        ) == pytest.approx(0.0)
+
+    def test_even_split_when_account_holds_nothing_anywhere(self):
+        a = self._market({"m": (10.0, 0.0)})
+        b = self._market({"m": (0.0, 0.0)})
+        arbiter = GlobalArbiter([a, b])
+        arbiter.rebalance_drams()
+        assert a.accounts["m"].balance == pytest.approx(5.0)
+        assert b.accounts["m"].balance == pytest.approx(5.0)
+
+    def test_single_market_account_is_untouched(self):
+        a = self._market({"solo": (7.0, 2.0), "m": (6.0, 0.0)})
+        b = self._market({"m": (0.0, 3.0)})
+        arbiter = GlobalArbiter([a, b])
+        arbiter.rebalance_drams()
+        assert a.accounts["solo"].balance == pytest.approx(7.0)
+        assert a.accounts["m"].balance == pytest.approx(0.0)
+        assert b.accounts["m"].balance == pytest.approx(6.0)
+
+    def test_fewer_than_two_markets_is_a_no_op(self):
+        a = self._market({"m": (9.0, 1.0)})
+        arbiter = GlobalArbiter([a])
+        assert arbiter.rebalance_drams() == 0.0
+        assert arbiter.rebalance_rounds == 0
+
+
+class TestLocalHitRatio:
+    def test_ratio_is_one_with_zero_hinted_grants(self):
+        """No hinted grants -> vacuously all-local (1.0), not 0/0."""
+        system = _sharded_system()
+        # the boot-time default manager has no home node, so nothing so
+        # far was placement-hinted
+        assert system.spcm.local_grant_pages == 0
+        assert system.spcm.remote_grant_pages == 0
+        assert system.spcm.local_hit_ratio() == 1.0
+
+    def test_ratio_drops_when_demand_overflows_the_home_node(self):
+        system = _sharded_system()
+        manager = GenericSegmentManager(
+            system.kernel, system.spcm, "hinted", initial_frames=0,
+            home_node=0,
+        )
+        manager.request_frames(8)
+        assert system.spcm.local_hit_ratio() == 1.0
+        free_on_home = system.spcm.free_frames_by_node()[0]
+        manager.request_frames(free_on_home + 8)
+        assert 0.0 < system.spcm.local_hit_ratio() < 1.0

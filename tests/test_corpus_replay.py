@@ -1,0 +1,41 @@
+"""Every recorded corpus schedule must replay green, forever.
+
+Each ``tests/corpus/*.json`` entry is a minimized schedule that once
+exposed (or guards against) a contract divergence; replaying them
+through the full oracle on every run is the regression net for the
+equivalence contract itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify.determinism import run_twice
+from repro.verify.oracle import check_equivalence
+from repro.verify.schedule import WorkloadSchedule
+
+pytestmark = pytest.mark.verify
+
+CORPUS = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(ENTRIES) >= 3, "tests/corpus must ship seed schedules"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_green(path):
+    schedule = WorkloadSchedule.load(str(path))
+    schedule.validate()
+    report = check_equivalence(schedule)
+    assert report.ok, f"{path.name}:\n{report.render()}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_is_deterministic(path):
+    schedule = WorkloadSchedule.load(str(path))
+    report = run_twice(schedule, chaos_seed=schedule.seed % 1000)
+    assert report.ok, f"{path.name}:\n{report.render()}"
