@@ -1,0 +1,58 @@
+"""The fault-service pipeline microbenchmark, pytest-benchmark flavored.
+
+Same three phases as ``python -m repro bench micro``
+(:mod:`repro.analysis.micro_fault_path`) --- wall-clock drive
+throughput, allocation pressure, simulated per-fault service cost ---
+but run under pytest-benchmark so ``pytest benchmarks/ --trace`` style
+sessions get comparable timing tables.  The JSON report + regression
+gate remain the canonical always-on numbers; this harness is for
+interactive profiling of the same code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.micro_fault_path import (
+    measure_allocations,
+    measure_service_costs,
+)
+from repro.verify.oracle import build_vpp_system, drive_vpp
+from repro.verify.schedule import figure2_schedule
+
+pytestmark = pytest.mark.bench
+
+
+def test_fault_path_drive_throughput(benchmark):
+    """One timed Figure-2 drive on a fresh system (boot included here;
+    the CLI report times the drive alone)."""
+    schedule = figure2_schedule()
+
+    def drive():
+        system, _manager, segments = build_vpp_system(schedule)
+        drive_vpp(system, schedule, segments)
+        return system
+
+    system = benchmark(drive)
+    faults = system.kernel.stats.faults
+    assert faults > 0
+    benchmark.extra_info["faults_per_drive"] = faults
+
+
+def test_fault_path_allocation_pressure(benchmark):
+    alloc = benchmark.pedantic(measure_allocations, rounds=1, iterations=1)
+    assert alloc["faults"] > 0
+    # the optimized pipeline retains only translations + page contents;
+    # a per-fault record creeping back in blows well past this
+    assert alloc["blocks_per_fault"] < 20
+    benchmark.extra_info.update(alloc)
+
+
+def test_fault_path_service_cost_is_deterministic(benchmark):
+    cost = benchmark.pedantic(
+        measure_service_costs, args=(2,), rounds=1, iterations=1
+    )
+    assert cost["samples"] > 0
+    # simulated time: identical on every machine and every run
+    assert cost == measure_service_costs(2)
+    benchmark.extra_info.update(cost)

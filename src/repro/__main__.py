@@ -29,6 +29,7 @@ subcommands:
   chaos <scenario>  run a seeded fault-injection schedule (--slo for
                     SLO watchdogs, --telemetry-out for a JSONL export)
   bench numa        NUMA scale-out sweep -> BENCH_numa_scaleout.json
+  bench micro       fault-path microbenchmark -> BENCH_fault_path_micro.json
   bench diff        diff BENCH_*.json against benchmarks/baselines
   verify <check>    determinism gate, differential oracle, fuzzer, or
                     corpus replay (exit 2: incomparable digest version)
@@ -37,7 +38,7 @@ subcommands:
 Run any subcommand with --help for its own options.
 """
 
-BENCH_USAGE = "usage: python -m repro bench {numa|diff} [options]"
+BENCH_USAGE = "usage: python -m repro bench {numa|micro|diff} [options]"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -63,13 +64,17 @@ def main(argv: list[str] | None = None) -> int:
 
         return top_main(args[1:])
     if args and args[0] == "bench":
-        if len(args) < 2 or args[1] not in ("numa", "diff"):
+        if len(args) < 2 or args[1] not in ("numa", "micro", "diff"):
             print(BENCH_USAGE)
             return 2
         if args[1] == "numa":
             from repro.analysis.numa_scaleout import main as numa_main
 
             return numa_main(args[2:])
+        if args[1] == "micro":
+            from repro.analysis.micro_fault_path import main as micro_main
+
+            return micro_main(args[2:])
         from repro.analysis.regression import main as diff_main
 
         return diff_main(args[2:])

@@ -27,7 +27,11 @@ import sys
 from dataclasses import dataclass
 
 #: the payload files the gate diffs by default
-DEFAULT_BENCH_FILES = ("BENCH_table1.json", "BENCH_numa_scaleout.json")
+DEFAULT_BENCH_FILES = (
+    "BENCH_table1.json",
+    "BENCH_numa_scaleout.json",
+    "BENCH_fault_path_micro.json",
+)
 
 #: where the committed baselines live
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
@@ -51,9 +55,13 @@ class MetricDelta:
     current: float
     #: relative change in the *bad* direction (positive = worse)
     regression: float
+    #: per-metric widening of the gate tolerance: wall-clock metrics
+    #: (machine-dependent) gate loosely, simulated costs gate tightly
+    tolerance_scale: float = 1.0
 
     def status(self, tolerance: float) -> str:
         """``ok``, ``improved``, or ``REGRESSED`` at this tolerance."""
+        tolerance = tolerance * self.tolerance_scale
         if self.regression > tolerance:
             return "REGRESSED"
         if self.regression < -tolerance:
@@ -99,15 +107,18 @@ def check_comparable(baseline: dict, current: dict, name: str) -> None:
         )
 
 
-def extract_metrics(payload: dict, path: str) -> dict[str, tuple[float, str]]:
-    """``{metric: (value, direction)}`` for one payload.
+def extract_metrics(payload: dict, path: str) -> dict[str, tuple]:
+    """``{metric: (value, direction[, tolerance_scale])}`` for one payload.
 
     Table-1 rows contribute their measured primitive times
     (lower-better); NUMA scale-out rows contribute per-node-count
-    throughput (higher-better) and completion time (lower-better).
+    throughput (higher-better) and completion time (lower-better); the
+    fault-path microbenchmark contributes wall-clock throughput and
+    allocation pressure (widened tolerance --- machine-dependent) plus
+    simulated per-fault service costs (tight --- deterministic).
     """
     kind = payload.get("benchmark") or payload.get("experiment")
-    metrics: dict[str, tuple[float, str]] = {}
+    metrics: dict[str, tuple] = {}
     if kind == "table1_primitives":
         for row in payload.get("rows", []):
             metrics[row["name"]] = (float(row["measured"]), "lower")
@@ -122,6 +133,25 @@ def extract_metrics(payload: dict, path: str) -> dict[str, tuple[float, str]]:
                 float(row["completion_us"]),
                 "lower",
             )
+    elif kind == "fault_path_micro":
+        thr = payload.get("throughput", {})
+        alloc = payload.get("allocations", {})
+        cost = payload.get("service_cost_us", {})
+        # wall clock: varies with the host, gate at 5x the tolerance
+        metrics["throughput (faults/s)"] = (
+            float(thr["faults_per_sec"]), "higher", 5.0,
+        )
+        # allocator behavior: stable per interpreter version, 2x
+        metrics["allocations (blocks/fault)"] = (
+            float(alloc["blocks_per_fault"]), "lower", 2.0,
+        )
+        metrics["alloc peak (KiB)"] = (
+            float(alloc["peak_kib"]), "lower", 2.0,
+        )
+        # simulated service cost: deterministic, full-strength gate
+        metrics["service cost p50 (us)"] = (float(cost["p50"]), "lower")
+        metrics["service cost p99 (us)"] = (float(cost["p99"]), "lower")
+        metrics["service cost mean (us)"] = (float(cost["mean"]), "lower")
     else:
         raise ComparabilityError(f"{path}: unknown payload kind {kind!r}")
     return metrics
@@ -140,11 +170,13 @@ def compare(
     base_metrics = extract_metrics(baseline, name)
     cur_metrics = extract_metrics(current, name)
     deltas: list[MetricDelta] = []
-    for metric, (base_value, direction) in base_metrics.items():
+    for metric, info in base_metrics.items():
         if metric not in cur_metrics:
             raise ComparabilityError(
                 f"{name}: metric {metric!r} missing from current payload"
             )
+        base_value, direction = float(info[0]), info[1]
+        scale = float(info[2]) if len(info) > 2 else 1.0
         cur_value = cur_metrics[metric][0]
         if base_value == 0.0:
             regression = 0.0 if cur_value == 0.0 else float("inf")
@@ -155,7 +187,10 @@ def compare(
         else:
             regression = (base_value - cur_value) / base_value
         deltas.append(
-            MetricDelta(metric, direction, base_value, cur_value, regression)
+            MetricDelta(
+                metric, direction, base_value, cur_value, regression,
+                tolerance_scale=scale,
+            )
         )
     return deltas
 

@@ -96,7 +96,7 @@ def _seg_id(value: Any) -> int:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageAttribute:
     """One entry of a ``GetPageAttributes`` result."""
 
@@ -132,7 +132,7 @@ class PageAttribute:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchStats:
     """What one (possibly batched) ``MigratePages`` actually did.
 
@@ -173,7 +173,7 @@ class BatchStats:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigratePagesRequest:
     """``MigratePages(src, dst, src_page, dst_page, n_pages, ...)``.
 
@@ -193,10 +193,18 @@ class MigratePagesRequest:
     home_node: int | None = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "src", _seg_id(self.src))
-        object.__setattr__(self, "dst", _seg_id(self.dst))
-        object.__setattr__(self, "set_flags", PageFlags(self.set_flags))
-        object.__setattr__(self, "clear_flags", PageFlags(self.clear_flags))
+        # coercions are skipped when the caller already passed the exact
+        # types --- this constructor runs on every fault-path grant
+        if type(self.src) is not int:
+            object.__setattr__(self, "src", _seg_id(self.src))
+        if type(self.dst) is not int:
+            object.__setattr__(self, "dst", _seg_id(self.dst))
+        if type(self.set_flags) is not PageFlags:
+            object.__setattr__(self, "set_flags", PageFlags(self.set_flags))
+        if type(self.clear_flags) is not PageFlags:
+            object.__setattr__(
+                self, "clear_flags", PageFlags(self.clear_flags)
+            )
 
     def to_payload(self) -> dict[str, Any]:
         """Plain-dict wire form (inverse of ``from_payload``)."""
@@ -225,7 +233,7 @@ class MigratePagesRequest:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MigratePagesResult:
     """Frames moved by one ``MigratePages`` (or one batch of them)."""
 
@@ -251,7 +259,7 @@ class MigratePagesResult:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ModifyPageFlagsRequest:
     """``ModifyPageFlags(seg, page, n_pages, set, clear)``."""
 
@@ -262,9 +270,14 @@ class ModifyPageFlagsRequest:
     clear_flags: PageFlags = PageFlags.NONE
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "segment", _seg_id(self.segment))
-        object.__setattr__(self, "set_flags", PageFlags(self.set_flags))
-        object.__setattr__(self, "clear_flags", PageFlags(self.clear_flags))
+        if type(self.segment) is not int:
+            object.__setattr__(self, "segment", _seg_id(self.segment))
+        if type(self.set_flags) is not PageFlags:
+            object.__setattr__(self, "set_flags", PageFlags(self.set_flags))
+        if type(self.clear_flags) is not PageFlags:
+            object.__setattr__(
+                self, "clear_flags", PageFlags(self.clear_flags)
+            )
 
     def to_payload(self) -> dict[str, Any]:
         """Plain-dict wire form (inverse of ``from_payload``)."""
@@ -287,7 +300,7 @@ class ModifyPageFlagsRequest:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ModifyPageFlagsResult:
     """How many present pages one ``ModifyPageFlags`` touched."""
 
@@ -406,7 +419,7 @@ class SetSegmentManagerResult:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameDemand:
     """The SPCM (or arbiter) asking a manager for frames back.
 
@@ -435,7 +448,7 @@ class FrameDemand:
         return cls(**payload)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FrameGrant:
     """Frames changing hands, named by free-segment page index.
 

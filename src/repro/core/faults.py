@@ -31,7 +31,7 @@ class FaultKind(Enum):
     COPY_ON_WRITE = auto()    # write to a page still bound to a COW source
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageFault:
     """One fault event delivered to a segment manager."""
 

@@ -73,6 +73,18 @@ FAILOVER_AFTER_ATTEMPTS = 4
 #: declares the manager unreachable.
 IPC_MAX_REDELIVERIES = 3
 
+# Integer mirrors of the PageFlags bits for the fault path.  Enum member
+# operators (`|`, `&`, `in`) dispatch through Flag.__and__/__or__ at
+# Python speed; the hot paths run on plain ints and convert back to
+# PageFlags only at the API boundary.
+_READ_I = int(PageFlags.READ)
+_WRITE_I = int(PageFlags.WRITE)
+_RW_I = _READ_I | _WRITE_I
+_REFERENCED_I = int(PageFlags.REFERENCED)
+_DIRTY_I = int(PageFlags.DIRTY)
+_ZERO_FILL_I = int(PageFlags.ZERO_FILL)
+_MANAGER_SETTABLE_I = int(MANAGER_SETTABLE)
+
 
 @dataclass
 class KernelStats:
@@ -165,6 +177,9 @@ class Kernel:
     ) -> None:
         self.memory = memory
         self.costs = costs
+        # one fault-delivery IPC leg (message + context switch), summed
+        # once: charged twice per separate-process fault delivery
+        self._ipc_round_cost = costs.ipc_message + costs.context_switch
         #: NUMA topology of the machine (None models flat UMA memory);
         #: validated against the physical memory at construction so a
         #: mismatched node_bytes cannot survive to the first remote access
@@ -237,7 +252,7 @@ class Kernel:
             boot.pages[page] = frame
             frame.owner_segment_id = boot.seg_id
             frame.page_index = page
-            frame.flags = int(PageFlags.READ | PageFlags.WRITE)
+            frame.flags = _RW_I
         self.initial_segment = self.boot_segments.get(
             memory.page_size,
             next(iter(self.boot_segments.values()), None),  # type: ignore[arg-type]
@@ -434,7 +449,7 @@ class Kernel:
                 )
             moved, batch = self._migrate_request(src)
             return MigratePagesResult(
-                tuple(frame.pfn for frame in moved), batch
+                tuple([frame.pfn for frame in moved]), batch
             )
         if dst is None:
             raise TypeError("legacy call form requires a destination")
@@ -553,55 +568,81 @@ class Kernel:
         clear_flags: PageFlags,
         call_cost_us: float | None = None,
     ) -> list[PageFrame]:
-        src, src_page = self._through_bindings(src, src_page, n_pages)
-        dst, dst_page = self._through_bindings(
-            dst, dst_page, n_pages, allow_grow=True
-        )
+        # unbound segments (the common fault path) skip the binding walk
+        # and take its range/grow checks inline
+        if src.bindings:
+            src, src_page = self._through_bindings(src, src_page, n_pages)
+        else:
+            src.check_page_range(src_page, n_pages)
+        if dst.bindings:
+            dst, dst_page = self._through_bindings(
+                dst, dst_page, n_pages, allow_grow=True
+            )
+        else:
+            if dst.auto_grow:
+                dst.ensure_size(dst_page + n_pages)
+            dst.check_page_range(dst_page, n_pages)
         self.meter.charge(
             "migrate_pages",
             self.costs.vpp_migrate_call
             if call_cost_us is None
             else call_cost_us,
         )
-        self.stats.migrate_calls += 1
-        self.stats.note_migrate(
-            self._attribution[-1] if self._attribution else None
-        )
+        stats = self.stats
+        stats.migrate_calls += 1
+        attribution = self._attribution
+        if attribution:
+            by_manager = stats.migrate_calls_by_manager
+            name = attribution[-1]
+            by_manager[name] = by_manager.get(name, 0) + 1
         if src.page_size != dst.page_size:
             raise MigrationError(
                 f"page size mismatch: {src.page_size} vs {dst.page_size}"
             )
-        if PageFlags.WRITE not in dst.prot:
+        if not (int(dst.prot) & _WRITE_I):
             raise ProtectionError(
                 f"migration into read-only segment {dst.name}"
             )
-        unsupported = int(set_flags | clear_flags) & ~int(MANAGER_SETTABLE)
+        set_i = int(set_flags)
+        clear_i = int(clear_flags)
+        unsupported = (set_i | clear_i) & ~_MANAGER_SETTABLE_I
         if unsupported:
             raise MigrationError(
                 f"flags not manager-settable: {unsupported:#x}"
             )
-        src.check_page_range(src_page, n_pages)
-        if dst.auto_grow:
-            dst.ensure_size(dst_page + n_pages)
-        dst.check_page_range(dst_page, n_pages)
+        src_pages = src.pages
+        dst_pages = dst.pages
         # validate the whole range before mutating anything
         for i in range(n_pages):
-            if src_page + i not in src.pages:
+            if src_page + i not in src_pages:
                 raise MigrationError(
                     f"source page {src_page + i} of {src.name} has no frame"
                 )
-            if dst_page + i in dst.pages:
+            if dst_page + i in dst_pages:
                 raise MigrationError(
                     f"destination page {dst_page + i} of {dst.name} is "
                     "already backed"
                 )
         moved: list[PageFrame] = []
+        not_clear_i = ~clear_i
+        dst_cow = dst.cow_source
+        dst_seg_id = dst.seg_id
+        frame_translations = self._frame_translations
+        tlb = self.tlb
+        page_table = self.page_table
         for i in range(n_pages):
-            frame = src.pages.pop(src_page + i)
-            self._invalidate_frame_translations(frame)
-            if PageFlags.ZERO_FILL & PageFlags(frame.flags):
+            frame = src_pages.pop(src_page + i)
+            # translation shootdown for the whole batch, inline: every
+            # cached translation naming a moved frame is dropped here
+            keys = frame_translations.pop(frame.pfn, None)
+            if keys:
+                for key in keys:
+                    tlb.invalidate(key[0], key[1])
+                    page_table.remove(key[0], key[1])
+            flags = frame.flags
+            if flags & _ZERO_FILL_I:
                 frame.zero()
-                frame.flags &= ~int(PageFlags.ZERO_FILL)
+                flags &= ~_ZERO_FILL_I
                 self.meter.charge("zero_fill", self.costs.zero_page)
                 self.stats.zero_fills += 1
                 if self.tracer.enabled:
@@ -610,29 +651,28 @@ class Kernel:
                         f"zero-fill frame pfn={frame.pfn} in transit",
                         self.costs.zero_page,
                     )
-            frame.flags = int(
-                (PageFlags(frame.flags) | set_flags) & ~clear_flags
-            )
+            flags = (flags | set_i) & not_clear_i
             # COW privatization: the arriving frame takes a copy of the
             # still-shared source page ("the kernel performs the copy after
             # the manager has allocated a page", S2.1).
-            if dst.cow_source is not None and (dst_page + i) not in dst.pages:
+            if dst_cow is not None and (dst_page + i) not in dst_pages:
                 source_res = (
-                    dst.cow_source.resolve(dst_page + i)
-                    if dst_page + i < dst.cow_source.n_pages
+                    dst_cow.resolve(dst_page + i)
+                    if dst_page + i < dst_cow.n_pages
                     else None
                 )
                 if source_res is not None and source_res.frame is not None:
                     frame.copy_from(source_res.frame)
-                    frame.flags |= int(PageFlags.DIRTY)
+                    flags |= _DIRTY_I
                     self.meter.charge("cow_copy", self.costs.copy_page)
                     self.stats.cow_copies += 1
-            dst.pages[dst_page + i] = frame
-            frame.owner_segment_id = dst.seg_id
+            frame.flags = flags
+            dst_pages[dst_page + i] = frame
+            frame.owner_segment_id = dst_seg_id
             frame.page_index = dst_page + i
             moved.append(frame)
         self.stats.pages_migrated += n_pages
-        if self._tracing:
+        if self.trace is not None or self.tracer.enabled:
             self._step(
                 "kernel",
                 f"MigratePages: {n_pages} frame(s) {src.name} -> {dst.name}"
@@ -692,24 +732,23 @@ class Kernel:
             )
         self.meter.charge("modify_flags", self.costs.vpp_modify_flags_call)
         self.stats.modify_flags_calls += 1
-        unsupported = int(set_flags | clear_flags) & ~int(MANAGER_SETTABLE)
+        set_i = int(set_flags)
+        clear_i = int(clear_flags)
+        unsupported = (set_i | clear_i) & ~_MANAGER_SETTABLE_I
         if unsupported:
             raise SegmentError(
                 f"flags not manager-settable: {unsupported:#x}"
             )
         segment.check_page_range(page, n_pages)
         modified = 0
-        lowers_access = bool(
-            clear_flags
-            & (PageFlags.READ | PageFlags.WRITE | PageFlags.REFERENCED)
-        )
+        lowers_access = bool(clear_i & (_RW_I | _REFERENCED_I))
+        not_clear_i = ~clear_i
+        segment_pages = segment.pages
         for i in range(n_pages):
-            frame = segment.pages.get(page + i)
+            frame = segment_pages.get(page + i)
             if frame is None:
                 continue
-            frame.flags = int(
-                (PageFlags(frame.flags) | set_flags) & ~clear_flags
-            )
+            frame.flags = (frame.flags | set_i) & not_clear_i
             if lowers_access:
                 self._invalidate_frame_translations(frame)
             modified += 1
@@ -819,14 +858,12 @@ class Kernel:
             if not write or writable:
                 return self.memory.frame(pfn)
         entry = self.page_table.lookup(space.seg_id, vpn)
-        if entry is not None and (not write or PageFlags.WRITE in PageFlags(entry.prot)):
-            self.meter.charge("tlb_refill", self.costs.tlb_refill)
-            self.tlb.insert(
-                space.seg_id,
-                vpn,
-                (entry.pfn, bool(PageFlags.WRITE in PageFlags(entry.prot))),
-            )
-            return self.memory.frame(entry.pfn)
+        if entry is not None:
+            writable = bool(entry.prot & _WRITE_I)
+            if not write or writable:
+                self.meter.charge("tlb_refill", self.costs.tlb_refill)
+                self.tlb.insert(space.seg_id, vpn, (entry.pfn, writable))
+                return self.memory.frame(entry.pfn)
         return self._slow_reference(space, vpn, write)
 
     def _slow_reference(self, space: Segment, vpn: int, write: bool) -> PageFrame:
@@ -895,7 +932,7 @@ class Kernel:
         self, space: Segment, vpn: int, write: bool
     ) -> PageFrame:
         self.meter.charge("trap", self.costs.trap_entry_exit)
-        if self._tracing:
+        if self.trace is not None or self.tracer.enabled:
             access = "write" if write else "read"
             self._step(
                 "application",
@@ -964,8 +1001,8 @@ class Kernel:
                 space_id=space.seg_id,
                 vaddr=vpn * space.page_size,
             )
-        needed = PageFlags.WRITE if write else PageFlags.READ
-        if needed not in res.prot:
+        needed_i = _WRITE_I if write else _READ_I
+        if not (int(res.prot) & needed_i):
             return PageFault(
                 res.owner.seg_id,
                 res.page,
@@ -995,29 +1032,27 @@ class Kernel:
         """
         frame = res.frame
         assert frame is not None
-        frame.flags |= int(PageFlags.REFERENCED)
         if write:
-            frame.flags |= int(PageFlags.DIRTY)
+            frame.flags |= _REFERENCED_I | _DIRTY_I
+        else:
+            frame.flags |= _REFERENCED_I
         if not post_fault:
             self.meter.charge("map_update", self.costs.map_update)
-        writable = bool(
-            PageFlags.WRITE in res.prot
-            and PageFlags.DIRTY & PageFlags(frame.flags)
-        )
+        prot_i = int(res.prot)
+        writable = bool(prot_i & _WRITE_I) and bool(frame.flags & _DIRTY_I)
         entry = Translation(
             space.seg_id,
             vpn,
             frame.pfn,
-            prot=int(
-                (PageFlags.READ if PageFlags.READ in res.prot else PageFlags.NONE)
-                | (PageFlags.WRITE if writable else PageFlags.NONE)
-            ),
+            prot=(prot_i & _READ_I) | (_WRITE_I if writable else 0),
         )
         self.page_table.insert(entry)
         self.tlb.insert(space.seg_id, vpn, (frame.pfn, writable))
-        self._frame_translations.setdefault(frame.pfn, set()).add(
-            (space.seg_id, vpn)
-        )
+        translations = self._frame_translations
+        bucket = translations.get(frame.pfn)
+        if bucket is None:
+            bucket = translations[frame.pfn] = set()
+        bucket.add((space.seg_id, vpn))
         return frame
 
     def dispatch_fault(self, fault: PageFault) -> None:
@@ -1049,13 +1084,13 @@ class Kernel:
         self, segment: Segment, manager: SegmentManager, fault: PageFault
     ) -> None:
         self.meter.charge("fault_dispatch", self.costs.vpp_fault_dispatch)
-        self.stats.faults += 1
+        stats = self.stats
+        stats.faults += 1
         kind = fault.kind.name
-        self.stats.faults_by_kind[kind] = (
-            self.stats.faults_by_kind.get(kind, 0) + 1
-        )
-        self.stats.note_manager_call(manager.name)
-        if self._tracing:
+        stats.faults_by_kind[kind] = stats.faults_by_kind.get(kind, 0) + 1
+        manager_calls = stats.manager_calls
+        manager_calls[manager.name] = manager_calls.get(manager.name, 0) + 1
+        if self.trace is not None or self.tracer.enabled:
             self._step(
                 "kernel",
                 f"forward {fault.kind.name} fault (segment "
@@ -1116,8 +1151,9 @@ class Kernel:
         self, manager: SegmentManager, fault: PageFault, byzantine: bool
     ) -> None:
         """One delivery: control transfer, handler, resumption charges."""
-        if manager.invocation is InvocationMode.SEPARATE_PROCESS:
-            ipc_cost = self.costs.ipc_message + self.costs.context_switch
+        separate = manager.invocation is InvocationMode.SEPARATE_PROCESS
+        if separate:
+            ipc_cost = self._ipc_round_cost
             self.meter.charge("fault_ipc", ipc_cost)
             if self.tracer.enabled:
                 self.tracer.event(
@@ -1133,13 +1169,23 @@ class Kernel:
                     f"{manager.name} replies without resolving the fault",
                 )
         else:
-            with self.attribute(manager.name):
-                with self.tracer.span(
-                    "manager", "handle_fault", manager=manager.name
-                ):
+            # attribution is pushed inline (not via attribute()): this
+            # runs once per fault delivery, and a context manager here
+            # costs a generator allocation on the hottest path
+            attribution = self._attribution
+            attribution.append(manager.name)
+            try:
+                if self.tracer.enabled:
+                    with self.tracer.span(
+                        "manager", "handle_fault", manager=manager.name
+                    ):
+                        manager.handle_fault(fault)
+                else:
                     manager.handle_fault(fault)
-        if manager.invocation is InvocationMode.SEPARATE_PROCESS:
-            ipc_cost = self.costs.ipc_message + self.costs.context_switch
+            finally:
+                attribution.pop()
+        if separate:
+            ipc_cost = self._ipc_round_cost
             self.meter.charge("fault_ipc", ipc_cost)
             if self.tracer.enabled:
                 self.tracer.event(

@@ -25,7 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hw.phys_mem import PageFrame
 
 
-@dataclass(frozen=True)
+# integer mirrors of the hot PageFlags values (enum operators dispatch
+# at Python speed; resolution runs on ints and converts once at the end)
+_RW_I = int(PageFlags.READ | PageFlags.WRITE)
+_WRITE_I = int(PageFlags.WRITE)
+
+
+@dataclass(frozen=True, slots=True)
 class Binding:
     """A bound region: pages [start, start+n) of the binder reference
     pages [target_start, target_start+n) of ``target``."""
@@ -47,7 +53,7 @@ class Binding:
         return self.target_start_page + (page - self.start_page)
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolvedPage:
     """The outcome of resolving one page reference through a segment."""
 
@@ -185,10 +191,35 @@ class Segment:
         copy-on-write privatization.
         """
         segment: Segment = self
-        prot = PageFlags.READ | PageFlags.WRITE
+        prot_i = _RW_I
         depth = 0
-        seen: set[tuple[int, int]] = set()
+        seen: set[tuple[int, int]] | None = None
         while True:
+            # Flat segment --- no bindings, no COW source: the walk ends
+            # here, so no cycle bookkeeping is needed.  This is the shape
+            # of nearly every hop (and of every resident-page reference).
+            if not segment.bindings and segment.cow_source is None:
+                if page < 0 or page >= segment.n_pages:
+                    segment.check_page_range(page)
+                prot_i &= int(segment.prot)
+                frame = segment.pages.get(page)
+                if frame is not None:
+                    return ResolvedPage(
+                        owner=segment,
+                        page=page,
+                        frame=frame,
+                        prot=PageFlags(prot_i & frame.flags),
+                        depth=depth,
+                    )
+                return ResolvedPage(
+                    owner=segment,
+                    page=page,
+                    frame=None,
+                    prot=PageFlags(prot_i),
+                    depth=depth,
+                )
+            if seen is None:
+                seen = set()
             key = (segment.seg_id, page)
             if key in seen:
                 raise BindingError(
@@ -196,10 +227,10 @@ class Segment:
                 )
             seen.add(key)
             segment.check_page_range(page)
-            prot &= segment.prot
+            prot_i &= int(segment.prot)
             binding = segment.binding_covering(page)
             if binding is not None:
-                prot &= binding.prot_mask
+                prot_i &= int(binding.prot_mask)
                 page = binding.translate(page)
                 segment = binding.target
                 depth += 1
@@ -210,7 +241,7 @@ class Segment:
                     owner=segment,
                     page=page,
                     frame=frame,
-                    prot=prot & PageFlags(frame.flags),
+                    prot=PageFlags(prot_i & frame.flags),
                     depth=depth,
                 )
             if segment.cow_source is not None:
@@ -224,19 +255,23 @@ class Segment:
                             owner=segment,
                             page=page,
                             frame=None,
-                            prot=prot,
+                            prot=PageFlags(prot_i),
                             needs_cow=True,
                             cow_source_frame=source_res.frame,
                             depth=depth,
                         )
                     # Reads fall through to the source (read sharing),
                     # but the shared view is never writable.
-                    prot &= ~PageFlags.WRITE
+                    prot_i &= ~_WRITE_I
                     segment = source
                     depth += 1
                     continue
             return ResolvedPage(
-                owner=segment, page=page, frame=None, prot=prot, depth=depth
+                owner=segment,
+                page=page,
+                frame=None,
+                prot=PageFlags(prot_i),
+                depth=depth,
             )
 
     # -- data convenience (used by UIO and tests) -------------------------------

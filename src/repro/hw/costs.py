@@ -142,7 +142,7 @@ SGI_4D_380 = MachineCosts(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class CostMeter:
     """Accumulates microsecond charges by named category.
 
@@ -161,10 +161,13 @@ class CostMeter:
         if microseconds < 0:
             raise ValueError(f"negative charge: {microseconds}")
         self.total_us += microseconds
-        self.by_category[category] = (
-            self.by_category.get(category, 0.0) + microseconds
-        )
-        self.counts[category] = self.counts.get(category, 0) + 1
+        by_category = self.by_category
+        if category in by_category:
+            by_category[category] += microseconds
+            self.counts[category] += 1
+        else:
+            by_category[category] = microseconds + 0.0
+            self.counts[category] = 1
         if self.parent is not None:
             self.parent.charge(category, microseconds)
         return microseconds

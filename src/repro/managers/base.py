@@ -45,6 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hw.phys_mem import PageFrame
     from repro.spcm.spcm import SystemPageCacheManager
 
+# request-flag values hoisted out of the fault path: PageFlags `|` runs
+# through Flag.__or__ at Python speed on every construction otherwise
+_RW_PROT = PageFlags.READ | PageFlags.WRITE
+_CLEAR_REFERENCED = PageFlags.REFERENCED
+
 
 class GenericSegmentManager(SegmentManager):
     """Free-page segment bookkeeping plus basic fault handling."""
@@ -301,11 +306,11 @@ class GenericSegmentManager(SegmentManager):
             self._free_slots.remove(stale_slot)
             self.kernel.migrate_pages(
                 MigratePagesRequest(
-                    self.free_segment,
-                    segment,
+                    self.free_segment.seg_id,
+                    fault.segment_id,
                     stale_slot,
                     fault.page,
-                    set_flags=PageFlags.READ | PageFlags.WRITE,
+                    set_flags=_RW_PROT,
                     home_node=self.home_node,
                 )
             )
@@ -328,18 +333,18 @@ class GenericSegmentManager(SegmentManager):
         # migrate; the manager only supplies the frame.
         self.kernel.migrate_pages(
             MigratePagesRequest(
-                self.free_segment,
-                segment,
+                self.free_segment.seg_id,
+                fault.segment_id,
                 slot,
                 fault.page,
-                set_flags=PageFlags.READ | PageFlags.WRITE,
-                clear_flags=PageFlags.REFERENCED,
+                set_flags=_RW_PROT,
+                clear_flags=_CLEAR_REFERENCED,
                 home_node=self.home_node,
             )
         )
         self._empty_slots.append(slot)
         self._note_resident(segment, fault.page)
-        if self.kernel._tracing:
+        if self.kernel.trace is not None or self.kernel.tracer.enabled:
             self.kernel._step(
                 "manager",
                 f"migrate frame pfn={frame.pfn} into {segment.name} "
@@ -370,7 +375,7 @@ class GenericSegmentManager(SegmentManager):
             ModifyPageFlagsRequest(
                 segment,
                 fault.page,
-                set_flags=PageFlags.READ | PageFlags.WRITE,
+                set_flags=_RW_PROT,
             )
         )
 

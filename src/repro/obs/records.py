@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceStep:
     """One point event: a numbered step an actor performed.
 
@@ -66,7 +66,7 @@ class TraceStep:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanRecord:
     """One interval in the span tree: a component performing an operation."""
 

@@ -21,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Engine:
     """Event heap plus virtual clock."""
 
+    __slots__ = ("now", "_heap", "_seq", "_processes", "_tick_hooks")
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
@@ -72,18 +74,21 @@ class Engine:
         ``until`` is given, events past it are left on the heap and the
         clock is advanced exactly to ``until``.
         """
-        while self._heap:
-            when, _, callback = self._heap[0]
+        heap = self._heap
+        heappop = heapq.heappop
+        tick_hooks = self._tick_hooks
+        while heap:
+            when, _, callback = heap[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            heappop(heap)
             if when < self.now:
                 raise SimulationError("event heap time went backwards")
             self.now = when
             callback()
-            if self._tick_hooks:
-                for hook in self._tick_hooks:
+            if tick_hooks:
+                for hook in tick_hooks:
                     hook()
         if until is not None and until > self.now:
             self.now = until

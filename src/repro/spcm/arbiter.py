@@ -81,7 +81,10 @@ class GlobalArbiter:
             total = sum(balances)
             weight_sum = sum(weights)
             if weight_sum > 0:
-                targets = [total * w / weight_sum for w in weights]
+                # divide first: the weight ratio is well-conditioned in
+                # [0, 1], while total * w can round catastrophically for
+                # tiny (subnormal) weights and mint drams out of thin air
+                targets = [total * (w / weight_sum) for w in weights]
             else:
                 targets = [total / len(holders)] * len(holders)
             for market, balance, target in zip(holders, balances, targets):

@@ -26,7 +26,6 @@ that zeroing is needed only "if the page is being given to another user".
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.core.api import FrameDemand, FrameGrant, MigratePagesRequest
@@ -37,12 +36,19 @@ from repro.core.segment import Segment
 from repro.errors import AllocationRefusedError, SPCMError
 from repro.hw.numa import NumaTopology
 from repro.spcm.arbiter import GlobalArbiter
+from repro.spcm.freelist import NodeBucketedFreeList
 from repro.spcm.market import MemoryMarket
 from repro.spcm.policy import (
     AllocationDecision,
     AllocationPolicy,
     ReservePolicy,
 )
+
+# hot-path int mirrors / prebuilt flag combinations (Flag operators are
+# Python-level calls; the grant and return paths run per fault)
+_ZERO_FILL_I = int(PageFlags.ZERO_FILL)
+_GRANT_SET = PageFlags.READ | PageFlags.WRITE
+_GRANT_CLEAR = PageFlags.REFERENCED | PageFlags.DIRTY
 
 
 @dataclass(frozen=True)
@@ -160,8 +166,9 @@ class SystemPageCacheManager:
         ]
         #: the thin global layer between shards (loans + dram rebalancing)
         self.arbiter = GlobalArbiter(self.markets)
-        # free pool per page size: sorted boot-segment page indices
-        self._free: dict[int, list[int]] = {}
+        # free pool per page size: boot-segment page indices, bucketed by
+        # NUMA node and sorted within each bucket (iterates ascending)
+        self._free: dict[int, NodeBucketedFreeList] = {}
         # every frame's home (boot segment, boot page index)
         self._home: dict[int, tuple[Segment, int]] = {}
         # which account last held each frame (zero-fill decision)
@@ -180,7 +187,11 @@ class SystemPageCacheManager:
         self.local_grant_pages = 0
         self.remote_grant_pages = 0
         for boot in kernel.boot_segments.values():
-            free = self._free.setdefault(boot.page_size, [])
+            free = self._free.get(boot.page_size)
+            if free is None:
+                free = self._free[boot.page_size] = NodeBucketedFreeList(
+                    len(self.shards), self._node_of_page_fn(boot)
+                )
             for page, frame in sorted(boot.pages.items()):
                 free.append(page)
                 self._home[frame.pfn] = (boot, page)
@@ -189,6 +200,18 @@ class SystemPageCacheManager:
         kernel.spcm = self
 
     # -- shard plumbing -----------------------------------------------------
+
+    def _node_of_page_fn(self, boot: Segment):
+        """``boot page -> home node`` for the free list's bucketing.
+
+        Raises (routing the page to the overflow bucket) when the page
+        holds no frame --- only corruption tests inject such indices.
+        """
+        if self.topology is None:
+            return lambda page: 0
+        pages = boot.pages
+        node_of = self.topology.node_of
+        return lambda page: node_of(pages[page].phys_addr)
 
     @property
     def n_shards(self) -> int:
@@ -205,12 +228,11 @@ class SystemPageCacheManager:
     ) -> dict[int, int]:
         """Free-frame count per node (the invariant checker's view)."""
         size = page_size or self.kernel.memory.page_size
-        boot = self.kernel.boot_segments.get(size)
         counts = {shard.node: 0 for shard in self.shards}
-        if boot is None:
+        free = self._free.get(size)
+        if free is None or self.kernel.boot_segments.get(size) is None:
             return counts
-        for page in self._free.get(size, []):
-            counts[self.shard_of(boot.pages[page].phys_addr).node] += 1
+        counts.update(free.counts_by_node())
         return counts
 
     # -- registration -------------------------------------------------------
@@ -392,25 +414,40 @@ class SystemPageCacheManager:
                 "destination segment page size does not match request"
             )
         account = self.account_of(manager)
-        candidates = self._matching_free_pages(boot, size, request)
-        # a placement hint serves local frames first, then spills to
-        # remote pools (cross-node loans the arbiter books below)
+        free = self._free[size]
         home = request.home_node
-        if home is not None and self.topology is not None:
-            candidates = [
-                p
-                for p in candidates
-                if self.topology.is_local(home, boot.pages[p].phys_addr)
-            ] + [
-                p
-                for p in candidates
-                if not self.topology.is_local(home, boot.pages[p].phys_addr)
-            ]
+        unconstrained = (
+            request.phys_lo is None
+            and request.phys_hi is None
+            and request.colors is None
+        )
+        if unconstrained:
+            # the hot path: no candidate list is built at all --- the
+            # grant below slices bucket prefixes straight off the pool
+            candidates: list[int] | None = None
+            n_matching = len(free)
+        else:
+            candidates = self._matching_free_pages(boot, size, request)
+            # a placement hint serves local frames first, then spills to
+            # remote pools (cross-node loans the arbiter books below)
+            if home is not None and self.topology is not None:
+                candidates = [
+                    p
+                    for p in candidates
+                    if self.topology.is_local(home, boot.pages[p].phys_addr)
+                ] + [
+                    p
+                    for p in candidates
+                    if not self.topology.is_local(
+                        home, boot.pages[p].phys_addr
+                    )
+                ]
+            n_matching = len(candidates)
         # policy judges against the whole pool; physical constraints then
         # clamp the grant to what actually matches ("as many page frames
         # as it can", S2.4)
         verdict = self.policy.decide(
-            account, request.n_frames, len(self._free.get(size, [])), size
+            account, request.n_frames, len(free), size
         )
         if verdict.decision is AllocationDecision.REFUSE:
             self.refused_requests += 1
@@ -422,27 +459,38 @@ class SystemPageCacheManager:
             raise AllocationRefusedError(
                 f"SPCM refused {request.n_frames} frames for {account!r}"
             )
-        n_grant = min(verdict.n_frames, len(candidates))
+        n_grant = min(verdict.n_frames, n_matching)
         if verdict.decision is AllocationDecision.DEFER or n_grant == 0:
             self.deferred_requests += 1
             if self.kernel.tracer.enabled:
                 self.kernel.tracer.event(
                     "spcm",
                     f"defer {request.n_frames} frame(s) for {account} "
-                    f"({len(candidates)} matching free)",
+                    f"({n_matching} matching free)",
                 )
             for market in self.markets:
                 market.demand_outstanding = True
             return []
-        chosen = candidates[:n_grant]
-        free = self._free[size]
+        if candidates is None:
+            chosen = free.take(
+                n_grant,
+                prefer_node=(
+                    home if self.topology is not None else None
+                ),
+            )
+        else:
+            chosen = candidates[:n_grant]
+            for boot_page in chosen:
+                free.remove(boot_page)
+        boot_pages = boot.pages
+        last_account = self._last_account
         for boot_page in chosen:
-            free.remove(boot_page)
-            frame = boot.pages[boot_page]
-            previous = self._last_account.get(frame.pfn)
+            frame = boot_pages[boot_page]
+            pfn = frame.pfn
+            previous = last_account.get(pfn)
             if previous is not None and previous != account:
-                frame.flags |= int(PageFlags.ZERO_FILL)
-            self._last_account[frame.pfn] = account
+                frame.flags |= _ZERO_FILL_I
+            last_account[pfn] = account
         if self.n_shards > 1:
             granted_pages = self._grant_sharded(
                 boot, dst_segment, chosen, account, home
@@ -490,8 +538,8 @@ class SystemPageCacheManager:
                         start,
                         dst_page,
                         n_run,
-                        set_flags=PageFlags.READ | PageFlags.WRITE,
-                        clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                        set_flags=_GRANT_SET,
+                        clear_flags=_GRANT_CLEAR,
                     )
                 )
                 granted_pages.extend(range(dst_page, dst_page + n_run))
@@ -532,10 +580,8 @@ class SystemPageCacheManager:
                             start,
                             dst_page,
                             n_run,
-                            set_flags=PageFlags.READ | PageFlags.WRITE,
-                            clear_flags=(
-                                PageFlags.REFERENCED | PageFlags.DIRTY
-                            ),
+                            set_flags=_GRANT_SET,
+                            clear_flags=_GRANT_CLEAR,
                             home_node=home,
                         )
                     )
@@ -616,10 +662,10 @@ class SystemPageCacheManager:
                         page,
                         home_page,
                         1,
-                        clear_flags=PageFlags.REFERENCED | PageFlags.DIRTY,
+                        clear_flags=_GRANT_CLEAR,
                     )
                 )
-                insort(self._free[size], home_page)
+                self._free[size].append(home_page)
         held = self.frames_held.get(account, 0)
         self.frames_held[account] = max(0, held - len(pages))
         for node, n_returned in returned_by_node.items():

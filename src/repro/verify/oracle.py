@@ -168,24 +168,30 @@ def build_vpp_system(schedule: WorkloadSchedule, tracer=None):
     return system, anon_manager, segments
 
 
+def apply_vpp_op(system, schedule: WorkloadSchedule, segments, op) -> None:
+    """Execute one schedule op against a booted V++ system."""
+    page_size = system.memory.page_size
+    kind, region, page = op[0], int(op[1]), int(op[2])
+    segment = segments[region]
+    if kind == "touch":
+        write, k = bool(op[3]), int(op[4])
+        frame = system.kernel.reference(
+            segment, page * page_size, write=write
+        )
+        if write:
+            frame.write(fill_bytes(region, page, k), 0)
+    elif kind == "file_read":
+        system.uio.read(segment, page * page_size, page_size)
+    elif kind == "file_write":
+        system.uio.write(
+            segment, page * page_size, fill_bytes(region, page, int(op[3]))
+        )
+
+
 def drive_vpp(system, schedule: WorkloadSchedule, segments) -> None:
     """Execute the schedule's ops against a booted V++ system."""
-    kernel, uio = system.kernel, system.uio
-    page_size = system.memory.page_size
     for op in schedule.ops:
-        kind, region, page = op[0], int(op[1]), int(op[2])
-        segment = segments[region]
-        if kind == "touch":
-            write, k = bool(op[3]), int(op[4])
-            frame = kernel.reference(segment, page * page_size, write=write)
-            if write:
-                frame.write(fill_bytes(region, page, k), 0)
-        elif kind == "file_read":
-            uio.read(segment, page * page_size, page_size)
-        elif kind == "file_write":
-            uio.write(
-                segment, page * page_size, fill_bytes(region, page, int(op[3]))
-            )
+        apply_vpp_op(system, schedule, segments, op)
 
 
 def collect_vpp(system, schedule: WorkloadSchedule, anon_manager, segments):

@@ -24,6 +24,7 @@ executor writes the identical data without sharing any state.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from dataclasses import dataclass, field
@@ -43,8 +44,13 @@ ANON, FILE = "anon", "file"
 _OP_ARITY = {"touch": 5, "file_write": 4, "file_read": 3}
 
 
+@functools.lru_cache(maxsize=4096)
 def fill_bytes(region: int, page: int, k: int, length: int = FILL_LEN) -> bytes:
-    """The deterministic pattern write ``k`` stores to ``(region, page)``."""
+    """The deterministic pattern write ``k`` stores to ``(region, page)``.
+
+    Memoized: the oracle, fuzzer, and microbenchmark regenerate the same
+    patterns across repeated drives, and the bytes are immutable.
+    """
     seed = f"fill:{region}:{page}:{k}".encode()
     out = b""
     counter = 0

@@ -43,6 +43,18 @@ NUMA = {
     ],
 }
 
+MICRO = {
+    "benchmark": "fault_path_micro",
+    "schema_version": 1,
+    "meta": {"workload": "figure2", "cost_drives": 5, "quick": False},
+    "throughput": {"repeats": 30, "faults": 420, "drive_wall_s": 0.02,
+                   "build_wall_s": 0.1, "faults_per_sec": 20000.0},
+    "allocations": {"faults": 14, "net_blocks": 90, "net_kib": 40.0,
+                    "blocks_per_fault": 6.4, "peak_kib": 70.0},
+    "service_cost_us": {"samples": 70, "p50": 379.0, "p99": 18321.0,
+                        "mean": 8000.0},
+}
+
 
 def _write(directory, name, payload):
     path = os.path.join(directory, name)
@@ -129,6 +141,42 @@ class TestComparability:
         assert d.status(0.25) == "ok"
 
 
+class TestFaultPathMicro:
+    def test_wall_clock_gates_loosely_simulated_gates_tightly(self):
+        metrics = extract_metrics(MICRO, "m")
+        assert metrics["throughput (faults/s)"][1] == "higher"
+        assert metrics["throughput (faults/s)"][2] == 5.0
+        assert metrics["service cost p50 (us)"] == (379.0, "lower")
+
+    def test_machine_noise_on_throughput_stays_ok(self):
+        # a 40% wall-clock dip is machine noise at 5x scale (gate 75%)
+        current = json.loads(json.dumps(MICRO))
+        current["throughput"]["faults_per_sec"] *= 0.6
+        deltas = compare(MICRO, current, "m")
+        by_name = {d.name: d for d in deltas}
+        assert by_name["throughput (faults/s)"].status(0.15) == "ok"
+
+    def test_large_throughput_collapse_is_regression(self):
+        current = json.loads(json.dumps(MICRO))
+        current["throughput"]["faults_per_sec"] *= 0.2
+        deltas = compare(MICRO, current, "m")
+        by_name = {d.name: d for d in deltas}
+        assert by_name["throughput (faults/s)"].status(0.15) == "REGRESSED"
+
+    def test_simulated_cost_drift_is_regression_at_full_strength(self):
+        current = json.loads(json.dumps(MICRO))
+        current["service_cost_us"]["p50"] *= 1.2
+        deltas = compare(MICRO, current, "m")
+        by_name = {d.name: d for d in deltas}
+        assert by_name["service cost p50 (us)"].status(0.15) == "REGRESSED"
+        # and 20% is inside the widened allocation gate (2x -> 30%)
+        current2 = json.loads(json.dumps(MICRO))
+        current2["allocations"]["blocks_per_fault"] *= 1.2
+        deltas2 = compare(MICRO, current2, "m")
+        by2 = {d.name: d for d in deltas2}
+        assert by2["allocations (blocks/fault)"].status(0.15) == "ok"
+
+
 class TestCliExitCodes:
     def _dirs(self, tmp_path, current_table1, current_numa=None):
         base = tmp_path / "base"
@@ -137,8 +185,10 @@ class TestCliExitCodes:
         cur.mkdir()
         _write(base, "BENCH_table1.json", TABLE1)
         _write(base, "BENCH_numa_scaleout.json", NUMA)
+        _write(base, "BENCH_fault_path_micro.json", MICRO)
         _write(cur, "BENCH_table1.json", current_table1)
         _write(cur, "BENCH_numa_scaleout.json", current_numa or NUMA)
+        _write(cur, "BENCH_fault_path_micro.json", MICRO)
         return str(base), str(cur)
 
     def _run(self, base, cur, tolerance=0.15):
@@ -174,8 +224,14 @@ class TestCliExitCodes:
 
 
 class TestCommittedBaselines:
+    BASELINES = (
+        "BENCH_table1.json",
+        "BENCH_numa_scaleout.json",
+        "BENCH_fault_path_micro.json",
+    )
+
     def test_baselines_carry_the_header(self):
-        for name in ("BENCH_table1.json", "BENCH_numa_scaleout.json"):
+        for name in self.BASELINES:
             path = os.path.join("benchmarks", "baselines", name)
             payload = load_payload(path)
             assert payload["schema_version"] == 1
@@ -184,7 +240,7 @@ class TestCommittedBaselines:
     def test_committed_payloads_match_their_baselines(self):
         # the working-tree BENCH files are regenerated artifacts; they
         # must stay comparable to (and within tolerance of) the baselines
-        for name in ("BENCH_table1.json", "BENCH_numa_scaleout.json"):
+        for name in self.BASELINES:
             baseline = load_payload(
                 os.path.join("benchmarks", "baselines", name)
             )
