@@ -1,16 +1,20 @@
 """``python -m repro``: one front door for every driver in the repo.
 
 With no subcommand the full evaluation report runs (``--quick`` shortens
-the Table-4 simulations).  Subcommands dispatch to the dedicated CLIs:
+the Table-4 simulations).  Every other entry point registers below as a
+:class:`Subcommand` --- a typed ``(name, help, loader)`` record, nested
+one level for command groups like ``bench`` --- and both dispatch and the
+``--help`` text are generated from that registry, so adding a driver is
+one declarative line, not another ``if`` arm.
+
+Registered drivers:
 
 * ``trace figure2|table1`` --- run one experiment under the tracer and
   print its fault-path profile (:mod:`repro.obs.cli`);
 * ``chaos <scenario>`` --- seeded fault-injection schedules with the
   invariant checker and optional SLO watchdogs (:mod:`repro.chaos.cli`);
-* ``bench numa`` --- the NUMA scale-out sweep, writes
-  ``BENCH_numa_scaleout.json`` (:mod:`repro.analysis.numa_scaleout`);
-* ``bench diff`` --- compare current ``BENCH_*.json`` against committed
-  baselines, non-zero exit on regression (:mod:`repro.analysis.regression`);
+* ``bench numa|micro|serve|diff`` --- the benchmark writers plus the
+  regression gate over their committed baselines;
 * ``verify`` --- the conformance harness: run-twice determinism gate,
   differential oracle against the baselines, schedule fuzzer, corpus
   replay (:mod:`repro.verify.cli`);
@@ -18,66 +22,153 @@ the Table-4 simulations).  Subcommands dispatch to the dedicated CLIs:
   (:mod:`repro.obs.dashboard`).
 """
 
+from __future__ import annotations
+
 import sys
+from dataclasses import dataclass, field
+from typing import Callable
 
-USAGE = """\
-usage: python -m repro [subcommand] [options]
 
-subcommands:
-  (none)            run the full evaluation report (--quick to shorten)
-  trace <target>    trace figure2 or table1 and print the fault profile
-  chaos <scenario>  run a seeded fault-injection schedule (--slo for
-                    SLO watchdogs, --telemetry-out for a JSONL export)
-  bench numa        NUMA scale-out sweep -> BENCH_numa_scaleout.json
-  bench micro       fault-path microbenchmark -> BENCH_fault_path_micro.json
-  bench diff        diff BENCH_*.json against benchmarks/baselines
-  verify <check>    determinism gate, differential oracle, fuzzer, or
-                    corpus replay (exit 2: incomparable digest version)
-  top               continuous-telemetry dashboard (--replay FILE)
+def _load(module: str) -> Callable[[], Callable]:
+    """A lazy loader for ``module.main`` (imports stay off the cold path)."""
 
-Run any subcommand with --help for its own options.
-"""
+    def load() -> Callable:
+        import importlib
 
-BENCH_USAGE = "usage: python -m repro bench {numa|micro|diff} [options]"
+        return getattr(importlib.import_module(module), "main")
+
+    return load
+
+
+@dataclass(frozen=True)
+class Subcommand:
+    """One registered CLI entry: dispatch target plus its help line."""
+
+    name: str
+    #: the argument-shape hint shown in usage (e.g. ``<scenario>``)
+    args: str
+    help: str
+    #: returns the driver's ``main(argv) -> int`` (None for a pure group)
+    load: Callable[[], Callable] | None = None
+    subcommands: tuple["Subcommand", ...] = field(default=())
+
+    def run(self, argv: list[str]) -> int:
+        """Dispatch ``argv`` into this command (or one of its children)."""
+        if self.subcommands:
+            if not argv or not any(
+                s.name == argv[0] for s in self.subcommands
+            ):
+                print(self.usage())
+                return 2
+            child = next(s for s in self.subcommands if s.name == argv[0])
+            return child.run(argv[1:])
+        return self.load()(argv)
+
+    def usage(self) -> str:
+        """The generated one-line usage for a command group."""
+        names = "|".join(s.name for s in self.subcommands)
+        return f"usage: python -m repro {self.name} {{{names}}} [options]"
+
+
+#: the registry --- dispatch and ``--help`` are both generated from it
+COMMANDS: tuple[Subcommand, ...] = (
+    Subcommand(
+        "trace",
+        "<target>",
+        "trace figure2 or table1 and print the fault profile",
+        _load("repro.obs.cli"),
+    ),
+    Subcommand(
+        "chaos",
+        "<scenario>",
+        "run a seeded fault-injection schedule (--slo for SLO "
+        "watchdogs, --telemetry-out for a JSONL export)",
+        _load("repro.chaos.cli"),
+    ),
+    Subcommand(
+        "bench",
+        "<which>",
+        "benchmark writers and the regression gate",
+        subcommands=(
+            Subcommand(
+                "numa",
+                "",
+                "NUMA scale-out sweep -> BENCH_numa_scaleout.json",
+                _load("repro.analysis.numa_scaleout"),
+            ),
+            Subcommand(
+                "micro",
+                "",
+                "fault-path microbenchmark -> BENCH_fault_path_micro.json",
+                _load("repro.analysis.micro_fault_path"),
+            ),
+            Subcommand(
+                "serve",
+                "",
+                "multi-tenant serving sweep -> BENCH_serve.json",
+                _load("repro.serve.bench"),
+            ),
+            Subcommand(
+                "diff",
+                "",
+                "diff BENCH_*.json against benchmarks/baselines",
+                _load("repro.analysis.regression"),
+            ),
+        ),
+    ),
+    Subcommand(
+        "verify",
+        "<check>",
+        "determinism gate, differential oracle, fuzzer, or corpus "
+        "replay (exit 2: incomparable digest version)",
+        _load("repro.verify.cli"),
+    ),
+    Subcommand(
+        "top",
+        "",
+        "continuous-telemetry dashboard (--replay FILE)",
+        _load("repro.obs.dashboard"),
+    ),
+)
+
+
+def usage() -> str:
+    """The generated top-level help text."""
+    lines = [
+        "usage: python -m repro [subcommand] [options]",
+        "",
+        "subcommands:",
+        "  (none)            run the full evaluation report "
+        "(--quick to shorten)",
+    ]
+    for cmd in COMMANDS:
+        entries = [(cmd, cmd.args)]
+        if cmd.subcommands:
+            entries = [
+                (sub, "") for sub in cmd.subcommands
+            ]
+        for sub, args in entries:
+            name = (
+                f"{cmd.name} {sub.name}" if sub is not cmd else cmd.name
+            )
+            head = f"{name} {args}".strip()
+            text = sub.help
+            lines.append(f"  {head:<17} {text}")
+    lines.append("")
+    lines.append("Run any subcommand with --help for its own options.")
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch subcommands to their CLIs, else run the report."""
+    """Dispatch subcommands through the registry, else run the report."""
     args = sys.argv[1:] if argv is None else argv
     if args and args[0] in ("-h", "--help"):
-        print(USAGE, end="")
+        print(usage(), end="")
         return 0
-    if args and args[0] == "trace":
-        from repro.obs.cli import main as trace_main
-
-        return trace_main(args[1:])
-    if args and args[0] == "chaos":
-        from repro.chaos.cli import main as chaos_main
-
-        return chaos_main(args[1:])
-    if args and args[0] == "verify":
-        from repro.verify.cli import main as verify_main
-
-        return verify_main(args[1:])
-    if args and args[0] == "top":
-        from repro.obs.dashboard import main as top_main
-
-        return top_main(args[1:])
-    if args and args[0] == "bench":
-        if len(args) < 2 or args[1] not in ("numa", "micro", "diff"):
-            print(BENCH_USAGE)
-            return 2
-        if args[1] == "numa":
-            from repro.analysis.numa_scaleout import main as numa_main
-
-            return numa_main(args[2:])
-        if args[1] == "micro":
-            from repro.analysis.micro_fault_path import main as micro_main
-
-            return micro_main(args[2:])
-        from repro.analysis.regression import main as diff_main
-
-        return diff_main(args[2:])
+    if args:
+        for cmd in COMMANDS:
+            if cmd.name == args[0]:
+                return cmd.run(args[1:])
     from repro.analysis.report import main as report_main
 
     return report_main(args) or 0

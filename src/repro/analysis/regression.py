@@ -31,6 +31,7 @@ DEFAULT_BENCH_FILES = (
     "BENCH_table1.json",
     "BENCH_numa_scaleout.json",
     "BENCH_fault_path_micro.json",
+    "BENCH_serve.json",
 )
 
 #: where the committed baselines live
@@ -152,6 +153,26 @@ def extract_metrics(payload: dict, path: str) -> dict[str, tuple]:
         metrics["service cost p50 (us)"] = (float(cost["p50"]), "lower")
         metrics["service cost p99 (us)"] = (float(cost["p99"]), "lower")
         metrics["service cost mean (us)"] = (float(cost["mean"]), "lower")
+    elif kind == "serve":
+        # fully simulated and seeded: every metric gates at full strength
+        for row in payload.get("results", []):
+            n = row["n_tenants"]
+            metrics[f"{n}-tenant throughput (req/sim-s)"] = (
+                float(row["throughput_per_sim_s"]),
+                "higher",
+            )
+            metrics[f"{n}-tenant worst p99 (us)"] = (
+                float(row["tenant_p99_us_worst"]),
+                "lower",
+            )
+            metrics[f"{n}-tenant fairness index"] = (
+                float(row["fairness_index"]),
+                "higher",
+            )
+            metrics[f"{n}-tenant admitted rate"] = (
+                float(row["admitted_rate"]),
+                "higher",
+            )
     else:
         raise ComparabilityError(f"{path}: unknown payload kind {kind!r}")
     return metrics

@@ -234,6 +234,42 @@ def _workload_apps(system, checker) -> int:
     return refs
 
 
+#: the tenant fleet the serving workloads admit (manager names match the
+#: tenant names, so scenarios can target them for injection)
+SERVE_TENANTS = ("tenant-0", "tenant-1", "tenant-2", "tenant-3")
+
+
+def _serve(system, checker, quota_frames: int) -> int:
+    from repro.serve.loadgen import admit_fleet, run_load
+    from repro.serve.tenants import ServingSystem
+
+    serving = ServingSystem(system, seed=7, rate_per_s=10_000.0)
+    admit_fleet(
+        serving,
+        len(SERVE_TENANTS),
+        working_set_pages=8,
+        quota_frames=quota_frames,
+    )
+    serviced = run_load(serving, duration_us=10_000.0)
+    checker.check_all()
+    return serviced
+
+
+def _workload_serve(system, checker) -> int:
+    """Four quota'd tenants served closed-loop while injection crashes
+    and hangs their managers; batched service must degrade per-item
+    (typed errors booked on the session), never corrupt frame or quota
+    accounting."""
+    return _serve(system, checker, quota_frames=8)
+
+
+def _workload_serve_thrash(system, checker) -> int:
+    """The same fleet under quotas tighter than the working set, so
+    every tenant recycles its own residents continuously while faults
+    land --- the quota-conservation sweep runs hot the whole time."""
+    return _serve(system, checker, quota_frames=4)
+
+
 def _run_dbms(plan: ChaosPlan) -> ChaosResult:
     """Table-4 DBMS run (index-with-paging) under mild disk-error
     injection; no kernel in the loop, so no invariant checker."""
@@ -268,6 +304,8 @@ WORKLOADS = {
     "ecc": _workload_ecc,
     "disk": _workload_disk,
     "apps": _workload_apps,
+    "serve": _workload_serve,
+    "serve-thrash": _workload_serve_thrash,
 }
 
 # back-compat alias (pre-verify name)
@@ -346,6 +384,30 @@ SCENARIOS: dict[str, Scenario] = {
                 target_managers=(VICTIM_MANAGER,),
             ),
             "apps",
+        ),
+        Scenario(
+            "serve-tenant-crash",
+            "tenant managers crash and hang mid-service; the batch "
+            "scheduler books typed per-request errors and quota "
+            "accounting stays conserved",
+            ChaosPlan(
+                manager_crash_rate=0.2,
+                manager_hang_rate=0.1,
+                target_managers=SERVE_TENANTS,
+            ),
+            "serve",
+        ),
+        Scenario(
+            "serve-quota-thrash",
+            "quotas tighter than working sets force continuous "
+            "self-recycling while frames fail ECC and fault IPC "
+            "duplicates",
+            ChaosPlan(
+                frame_ecc_rate=0.02,
+                ipc_duplicate_rate=0.1,
+                target_managers=SERVE_TENANTS,
+            ),
+            "serve-thrash",
         ),
         Scenario(
             "dbms",

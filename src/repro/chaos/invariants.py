@@ -68,6 +68,7 @@ class InvariantChecker:
         self._check_translations(violations)
         self._check_bindings(violations)
         self._check_market(violations)
+        self._check_quotas(violations)
         if violations:
             raise InvariantViolationError(
                 f"{len(violations)} invariant violation(s): "
@@ -305,4 +306,83 @@ class InvariantChecker:
             violations.append(
                 "arbiter transfers are not zero-sum across shard markets: "
                 f"net {net_transfer!r}"
+            )
+
+    # -- per-tenant quota conservation ---------------------------------------
+
+    def _check_quotas(self, violations: list[str]) -> None:
+        """Quota-capped holdings stay within cap and sum to the pool total.
+
+        Only runs when quotas are installed (the serving layer); a plain
+        chaos run over unlimited managers is untouched.  Checks, per
+        quota-capped account: machine-wide frames held <= cap, the SPCM's
+        machine-wide count equals the sum of per-shard counts, and the
+        summed dram-market holdings stay under the advisory MB ceiling.
+        Machine-wide: every quota-capped holding plus unassigned frames
+        (free + uncapped holdings + retired) equals the frame pool.
+        """
+        spcm = self.spcm
+        arbiter = getattr(spcm, "arbiter", None)
+        quotas = getattr(arbiter, "quotas", None)
+        if not quotas:
+            return
+        page_mb = self.kernel.memory.page_size / (1024 * 1024)
+        capped_total = 0
+        for account in sorted(quotas):
+            cap = quotas[account]
+            held = spcm.frames_held.get(account, 0)
+            capped_total += held
+            if held > cap:
+                violations.append(
+                    f"account {account!r} holds {held} frames over its "
+                    f"quota of {cap}"
+                )
+            shard_sum = sum(
+                shard.frames_held.get(account, 0) for shard in spcm.shards
+            )
+            if shard_sum != held:
+                violations.append(
+                    f"account {account!r} shard holdings sum to "
+                    f"{shard_sum}, but the SPCM books {held} machine-wide"
+                )
+            holding_mb = 0.0
+            quota_mb = None
+            for market in getattr(spcm, "markets", []):
+                acct = market.accounts.get(account)
+                if acct is None:
+                    continue
+                holding_mb += acct.holding_mb
+                if acct.quota_mb is not None:
+                    quota_mb = acct.quota_mb
+            if (
+                quota_mb is not None
+                and holding_mb > quota_mb + self.dram_tolerance
+            ):
+                violations.append(
+                    f"account {account!r} dram holdings {holding_mb:.6f} MB "
+                    f"exceed the {quota_mb:.6f} MB quota ceiling"
+                )
+            if quota_mb is not None:
+                expected_mb = held * page_mb
+                if abs(holding_mb - expected_mb) > self.dram_tolerance:
+                    violations.append(
+                        f"account {account!r} market holdings "
+                        f"{holding_mb:.6f} MB disagree with {held} frames "
+                        f"held ({expected_mb:.6f} MB)"
+                    )
+        uncapped_total = sum(
+            held
+            for account, held in spcm.frames_held.items()
+            if account not in quotas
+        )
+        free_total = sum(len(free) for free in spcm._free.values())
+        retired = len(getattr(self.kernel, "retired_frames", ()))
+        n_frames = sum(1 for _ in self.kernel.memory.frames())
+        got = capped_total + uncapped_total + free_total + retired
+        if got != n_frames:
+            violations.append(
+                "quota sweep does not conserve the frame pool: "
+                f"{capped_total} capped + {uncapped_total} uncapped + "
+                f"{free_total} free + {retired} retired = {got} != "
+                f"{n_frames} frames"
             )

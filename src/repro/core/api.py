@@ -38,8 +38,12 @@ from repro.core.flags import PageFlags
 
 #: Facade version: (major, minor).  Major bumps may drop deprecated call
 #: forms; the keyword shims introduced alongside v2 last exactly one
-#: release.
-API_VERSION = (2, 0)
+#: release.  v2.1 adds the multi-tenant serving vocabulary:
+#: :class:`BatchMigratePagesRequest` / :class:`BatchMigratePagesResult`
+#: (the batched kernel entry becomes a typed, serializable form),
+#: :class:`AdmitTenantRequest` / :class:`AdmitTenantResult`,
+#: :class:`TenantQuota`, and :class:`RetryAfter` (the typed shed).
+API_VERSION = (2, 1)
 
 
 # ---------------------------------------------------------------------------
@@ -50,6 +54,7 @@ _WARNED_OPS: set[str] = set()
 
 _REQUEST_CLASS_FOR_OP = {
     "Kernel.migrate_pages": "MigratePagesRequest",
+    "Kernel.migrate_pages_batch": "BatchMigratePagesRequest",
     "Kernel.modify_page_flags": "ModifyPageFlagsRequest",
     "Kernel.get_page_attributes": "GetPageAttributesRequest",
     "Kernel.set_segment_manager": "SetSegmentManagerRequest",
@@ -260,6 +265,78 @@ class MigratePagesResult:
 
 
 @dataclass(frozen=True, slots=True)
+class BatchMigratePagesRequest:
+    """Several ``MigratePages`` runs crossing into the kernel once (v2.1).
+
+    The canonical form of the batched fast path: the first run is charged
+    the full kernel-entry cost, the rest only the marginal batch cost.
+    The sharded SPCM groups per-node frame grabs into one of these, and
+    the serving layer's :class:`~repro.serve.scheduler.BatchScheduler`
+    coalesces per-(manager, node) fault work the same way.
+    """
+
+    requests: tuple[MigratePagesRequest, ...]
+
+    def __post_init__(self) -> None:
+        if type(self.requests) is not tuple:
+            object.__setattr__(self, "requests", tuple(self.requests))
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def n_pages(self) -> int:
+        return sum(r.n_pages for r in self.requests)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {"requests": [r.to_payload() for r in self.requests]}
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any]
+    ) -> "BatchMigratePagesRequest":
+        return cls(
+            requests=tuple(
+                MigratePagesRequest.from_payload(r)
+                for r in payload["requests"]
+            )
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class BatchMigratePagesResult:
+    """What one batched kernel entry moved, run statistics merged."""
+
+    moved_pfns: tuple[int, ...]
+    batch: BatchStats = field(default_factory=BatchStats)
+    n_requests: int = 0
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.moved_pfns)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "moved_pfns": list(self.moved_pfns),
+            "batch": self.batch.to_payload(),
+            "n_requests": self.n_requests,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict[str, Any]
+    ) -> "BatchMigratePagesResult":
+        return cls(
+            moved_pfns=tuple(payload["moved_pfns"]),
+            batch=BatchStats.from_payload(payload["batch"]),
+            n_requests=payload["n_requests"],
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class ModifyPageFlagsRequest:
     """``ModifyPageFlags(seg, page, n_pages, set, clear)``."""
 
@@ -415,6 +492,158 @@ class SetSegmentManagerResult:
 
 
 # ---------------------------------------------------------------------------
+# the multi-tenant serving vocabulary (v2.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RetryAfter:
+    """A typed shed: the request was not admitted, try again later.
+
+    ``retry_after_us`` is simulated microseconds from the shed; every
+    shed the admission controller issues carries one, so backpressure is
+    a first-class, serializable signal rather than a bare refusal.
+    """
+
+    tenant: str
+    retry_after_us: float
+    reason: str = "admission"  # "admission" | "backpressure" | "capacity"
+
+    def __post_init__(self) -> None:
+        if self.retry_after_us < 0:
+            raise ValueError(
+                f"retry_after_us must be non-negative: {self.retry_after_us}"
+            )
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "tenant": self.tenant,
+            "retry_after_us": self.retry_after_us,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "RetryAfter":
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class TenantQuota:
+    """Per-tenant dram-pool cap, enforced through the SPCM market rules.
+
+    ``frames`` caps the tenant's machine-wide SPCM frame grants (the
+    paper's memory-market holding, in frames rather than drams); a
+    request that would breach it is **deferred**, never refused, so the
+    tenant reclaims and retries rather than failing.  ``dram_mb`` is the
+    equivalent advisory holding ceiling recorded with the shard markets.
+    ``None`` means unlimited on that axis.
+    """
+
+    account: str
+    frames: int | None = None
+    dram_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.frames is not None and self.frames < 0:
+            raise ValueError(f"frames quota must be >= 0: {self.frames}")
+        if self.dram_mb is not None and self.dram_mb < 0:
+            raise ValueError(f"dram_mb quota must be >= 0: {self.dram_mb}")
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "account": self.account,
+            "frames": self.frames,
+            "dram_mb": self.dram_mb,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "TenantQuota":
+        return cls(**payload)
+
+
+@dataclass(frozen=True, slots=True)
+class AdmitTenantRequest:
+    """``AdmitTenant``: register one workload + manager + home node.
+
+    ``working_set_pages`` sizes the tenant's address space; ``quota``
+    rides along (its ``account`` may be left empty --- the serving layer
+    fills in the manager's account at admission).
+    """
+
+    tenant: str
+    home_node: int | None = None
+    working_set_pages: int = 16
+    quota: TenantQuota | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant name must be non-empty")
+        if self.working_set_pages <= 0:
+            raise ValueError(
+                f"working_set_pages must be positive: {self.working_set_pages}"
+            )
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "tenant": self.tenant,
+            "home_node": self.home_node,
+            "working_set_pages": self.working_set_pages,
+            "quota": None if self.quota is None else self.quota.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "AdmitTenantRequest":
+        quota = payload["quota"]
+        return cls(
+            tenant=payload["tenant"],
+            home_node=payload["home_node"],
+            working_set_pages=payload["working_set_pages"],
+            quota=None if quota is None else TenantQuota.from_payload(quota),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AdmitTenantResult:
+    """Whether the tenant was admitted; a shed carries the retry signal."""
+
+    admitted: bool
+    tenant: str
+    account: str | None = None
+    home_node: int | None = None
+    retry_after: RetryAfter | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict wire form (inverse of ``from_payload``)."""
+        return {
+            "admitted": self.admitted,
+            "tenant": self.tenant,
+            "account": self.account,
+            "home_node": self.home_node,
+            "retry_after": (
+                None
+                if self.retry_after is None
+                else self.retry_after.to_payload()
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "AdmitTenantResult":
+        retry = payload["retry_after"]
+        return cls(
+            admitted=payload["admitted"],
+            tenant=payload["tenant"],
+            account=payload["account"],
+            home_node=payload["home_node"],
+            retry_after=(
+                None if retry is None else RetryAfter.from_payload(retry)
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
 # the manager callback vocabulary (shared with the SPCM)
 # ---------------------------------------------------------------------------
 
@@ -486,6 +715,10 @@ class FrameGrant:
 
 __all__ = [
     "API_VERSION",
+    "AdmitTenantRequest",
+    "AdmitTenantResult",
+    "BatchMigratePagesRequest",
+    "BatchMigratePagesResult",
     "BatchStats",
     "FrameDemand",
     "FrameGrant",
@@ -496,8 +729,10 @@ __all__ = [
     "ModifyPageFlagsRequest",
     "ModifyPageFlagsResult",
     "PageAttribute",
+    "RetryAfter",
     "SetSegmentManagerRequest",
     "SetSegmentManagerResult",
+    "TenantQuota",
     "reset_legacy_warnings",
     "warn_legacy_call",
 ]

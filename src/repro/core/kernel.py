@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from repro.chaos.injector import NULL_INJECTOR
 from repro.chaos.plan import IPCFailureMode, ManagerFailureMode
 from repro.core.api import (
+    BatchMigratePagesRequest,
+    BatchMigratePagesResult,
     BatchStats,
     GetPageAttributesRequest,
     GetPageAttributesResult,
@@ -117,6 +119,10 @@ class KernelStats:
     manager_calls: dict[str, int] = field(default_factory=dict)
     #: MigratePages invocations by calling manager name (Table 3, column 2)
     migrate_calls_by_manager: dict[str, int] = field(default_factory=dict)
+    #: outermost fault services attributed to a serving tenant
+    tenant_faults: dict[str, int] = field(default_factory=dict)
+    #: summed metered latency of those services, by tenant
+    tenant_fault_us: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, float]:
         """Flat scalar view for :class:`repro.obs.MetricsRegistry`."""
@@ -146,6 +152,8 @@ class KernelStats:
             out[f"faults.{kind.lower()}"] = float(n)
         for name, n in self.manager_calls.items():
             out[f"manager_calls.{name}"] = float(n)
+        for name, n in self.tenant_faults.items():
+            out[f"tenant_faults.{name}"] = float(n)
         return out
 
     def note_manager_call(self, manager_name: str) -> None:
@@ -160,6 +168,13 @@ class KernelStats:
             self.migrate_calls_by_manager[manager_name] = (
                 self.migrate_calls_by_manager.get(manager_name, 0) + 1
             )
+
+    def note_tenant_fault(self, tenant: str, latency_us: float) -> None:
+        """Book one outermost fault service against ``tenant``."""
+        self.tenant_faults[tenant] = self.tenant_faults.get(tenant, 0) + 1
+        self.tenant_fault_us[tenant] = (
+            self.tenant_fault_us.get(tenant, 0.0) + latency_us
+        )
 
 
 class Kernel:
@@ -234,6 +249,9 @@ class Kernel:
         # who is invoking kernel operations (Table 3 counts MigratePages
         # calls per invoking module); innermost attribution wins
         self._attribution: list[str] = []
+        # serving tenant the current fault service is billed to (set by
+        # attribute_tenant); None keeps the no-listener fast path intact
+        self._tenant: str | None = None
         # Boot: one well-known segment per frame size, all frames in
         # physical-address order (paper, S2.1).
         self.boot_segments: dict[int, Segment] = {}
@@ -461,23 +479,45 @@ class Kernel:
         return moved
 
     def migrate_pages_batch(
-        self, requests: list[MigratePagesRequest] | tuple[MigratePagesRequest, ...]
-    ) -> MigratePagesResult:
-        """Several ``MigratePages`` runs in one kernel entry (API v2).
+        self,
+        requests: (
+            BatchMigratePagesRequest
+            | list[MigratePagesRequest]
+            | tuple[MigratePagesRequest, ...]
+        ),
+    ) -> BatchMigratePagesResult | MigratePagesResult:
+        """Several ``MigratePages`` runs in one kernel entry.
 
         The first run is charged the full ``vpp_migrate_call``;
         subsequent runs only the marginal ``vpp_migrate_batch_extra`` ---
         the batch crosses into the kernel once, the way the paper
         amortizes batched ``MigratePages``.  The sharded SPCM uses this
-        to group per-node frame grabs into one shard transaction.
+        to group per-node frame grabs into one shard transaction, and
+        the serving layer's batch scheduler coalesces per-(manager,
+        node) refills the same way.
+
+        Canonical form (API v2.1): pass a
+        :class:`~repro.core.api.BatchMigratePagesRequest`; returns a
+        :class:`~repro.core.api.BatchMigratePagesResult`.  The bare
+        list/tuple form is deprecated (one release) and still returns
+        the v2.0 :class:`~repro.core.api.MigratePagesResult`.
         """
-        requests = list(requests)
-        if not requests:
-            return MigratePagesResult((), BatchStats(n_calls=0))
+        if isinstance(requests, BatchMigratePagesRequest):
+            runs = requests.requests
+            typed = True
+        else:
+            warn_legacy_call("Kernel.migrate_pages_batch")
+            runs = tuple(requests)
+            typed = False
+        if not runs:
+            empty = BatchStats(n_calls=0)
+            if typed:
+                return BatchMigratePagesResult((), empty, 0)
+            return MigratePagesResult((), empty)
         self.stats.migrate_batches += 1
         moved_pfns: list[int] = []
         batch: BatchStats | None = None
-        for i, request in enumerate(requests):
+        for i, request in enumerate(runs):
             cost = (
                 self.costs.vpp_migrate_call
                 if i == 0
@@ -487,6 +527,10 @@ class Kernel:
             moved_pfns.extend(frame.pfn for frame in moved)
             batch = stats if batch is None else batch.merged(stats)
         assert batch is not None
+        if typed:
+            return BatchMigratePagesResult(
+                tuple(moved_pfns), batch, len(runs)
+            )
         return MigratePagesResult(tuple(moved_pfns), batch)
 
     def _migrate_request(
@@ -872,6 +916,7 @@ class Kernel:
             not self.tracer.enabled
             and not self._fault_listeners
             and not self._fault_step_listeners
+            and self._tenant is None
         ):
             return self._handle_slow_reference(space, vpn, write)
         before = self.meter.total_us
@@ -896,6 +941,8 @@ class Kernel:
             # observation (a manager's fill may itself fault)
             if self._fault_depth == 0:
                 latency = self.meter.total_us - before
+                if self._tenant is not None:
+                    self.stats.note_tenant_fault(self._tenant, latency)
                 for listener in self._fault_listeners:
                     listener(latency)
                 if self._fault_step_listeners:
@@ -1410,6 +1457,22 @@ class Kernel:
             yield
         finally:
             self._attribution.pop()
+
+    @contextmanager
+    def attribute_tenant(self, tenant: str):
+        """Bill outermost fault services inside the block to ``tenant``.
+
+        The serving layer wraps each scheduled reference in this so
+        ``KernelStats.tenant_faults`` / ``tenant_fault_us`` break the
+        shared fault pipeline down per tenant.  Outside any block the
+        field stays ``None`` and the no-listener fast path is untouched.
+        """
+        previous = self._tenant
+        self._tenant = tenant
+        try:
+            yield
+        finally:
+            self._tenant = previous
 
     def notify_manager_call(self, manager: SegmentManager) -> None:
         """Record a non-fault manager request forwarded by the kernel

@@ -46,6 +46,11 @@ class SLOPolicy:
     failover_us: float = 50_000.0
     frame_drift_frames: float = 0.0
     market_drift_drams: float = 1e-6
+    #: per-tenant p99 latency objective for the serving layer (None
+    #: disables; only judged via :meth:`SLOWatchdog.watch_serving`)
+    tenant_p99_us: float | None = None
+    #: per-tenant observations needed before that objective is judged
+    min_tenant_samples: int = 10
 
 
 #: the default policy (module-level so callers can share one instance)
@@ -98,6 +103,8 @@ class SLOWatchdog:
         self.policy = policy if policy is not None else DEFAULT_SLO
         self.alerts: list[Alert] = []
         self.fault_latency = Tally("fault_service_us")
+        #: per-tenant latency tallies (fed by :meth:`watch_serving`)
+        self.tenant_latency: dict[str, Tally] = {}
         self.checks_run = 0
         #: objectives currently in violation (edge-trigger state)
         self._firing: set[str] = set()
@@ -138,6 +145,42 @@ class SLOWatchdog:
             detail=(
                 f"p99 of {self.fault_latency.count} fault services is "
                 f"{p99:.0f} us"
+            ),
+        )
+
+    def watch_serving(self, serving) -> "SLOWatchdog":
+        """Judge the per-tenant p99 objective over a serving layer.
+
+        Subscribes to the serving system's per-request hook; each
+        tenant's end-to-end latency (queue wait + metered service) feeds
+        its own tally, judged edge-triggered per tenant once
+        ``min_tenant_samples`` observations have arrived.  No-op when
+        the policy leaves ``tenant_p99_us`` unset.
+        """
+        if self.policy.tenant_p99_us is None:
+            return self
+        serving.on_tenant_fault(self._on_tenant_fault)
+        return self
+
+    def _on_tenant_fault(self, tenant: str, latency_us: float) -> None:
+        tally = self.tenant_latency.get(tenant)
+        if tally is None:
+            tally = self.tenant_latency[tenant] = Tally(
+                f"tenant_latency_us:{tenant}"
+            )
+        tally.record(latency_us)
+        policy = self.policy
+        if tally.count < policy.min_tenant_samples:
+            return
+        p99 = tally.percentile(99)
+        self._judge(
+            f"tenant_p99_latency:{tenant}",
+            p99,
+            policy.tenant_p99_us,
+            severity="warning",
+            detail=(
+                f"p99 of {tally.count} serviced requests for {tenant} "
+                f"is {p99:.0f} us"
             ),
         )
 

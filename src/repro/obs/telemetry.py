@@ -267,6 +267,38 @@ class TelemetryCollector:
 
         self.bind("manager", manager_values)
 
+    def bind_serving(self, serving) -> None:
+        """Per-tenant and admission gauges for a serving layer.
+
+        Registers scalar serving gauges (admitted, shed, backlog,
+        batches) plus a ``tenant`` provider sampled per session:
+        admitted, shed, serviced, p99 fault latency, and held frames ---
+        the continuous view of the paper's multi-client arbitration.
+        Samples are additionally paced by the serving engine's clock.
+        """
+        admission = serving.admission
+        scheduler = serving.scheduler
+        self.gauge("serve.admitted", lambda: admission.admitted)
+        self.gauge("serve.shed", lambda: admission.shed)
+        self.gauge("serve.backlog", lambda: scheduler.backlog)
+        self.gauge("serve.batches", lambda: scheduler.batches_flushed)
+        self.gauge("serve.tenants", lambda: len(serving.sessions))
+        spcm = serving.spcm
+
+        def tenant_values() -> dict[str, float]:
+            values: dict[str, float] = {}
+            for tenant in sorted(serving.sessions):
+                session = serving.sessions[tenant]
+                for leaf, value in session.stats_dict().items():
+                    values[f"{tenant}.{leaf}"] = value
+                values[f"{tenant}.held_frames"] = float(
+                    spcm.held_by(session.account)
+                )
+            return values
+
+        self.bind("tenant", tenant_values)
+        serving.engine.add_tick_hook(self.poll)
+
 
 def install_telemetry(
     system,

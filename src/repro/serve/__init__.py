@@ -1,0 +1,34 @@
+"""The multi-tenant serving layer.
+
+The paper moves paging *policy* into application-level managers while the
+kernel/SPCM arbitrates one shared frame pool; this package adds the layer
+the ROADMAP's "serve heavy traffic" north star needs on top of that: many
+concurrent tenants contending for the pool, each a registered workload +
+manager + home node (:class:`~repro.serve.tenants.TenantSession`), with
+
+* token-bucket admission over **simulated** time and typed
+  :class:`~repro.core.api.RetryAfter` shedding
+  (:class:`~repro.serve.admission.AdmissionController`),
+* outstanding fault-service work coalesced per (manager, node) into
+  batched kernel invocations
+  (:class:`~repro.serve.scheduler.BatchScheduler`), and
+* per-tenant dram quotas enforced through the SPCM market/arbiter ---
+  a quota breach defers (the tenant recycles its own residents), it
+  never refuses.
+
+Everything is deterministic: one discrete-event engine, seeded RNG
+substreams, sorted iteration orders --- the run-twice gate in
+:mod:`repro.verify.determinism` drives a serving schedule unchanged.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.tenants import ServingSystem, TenantSession
+
+__all__ = [
+    "AdmissionController",
+    "BatchScheduler",
+    "ServingSystem",
+    "TenantSession",
+    "TokenBucket",
+]

@@ -1,0 +1,125 @@
+"""Batched fault-service scheduling per (manager, node).
+
+Admitted references queue here instead of trapping one by one; on each
+flush the scheduler walks the queues in sorted key order and, per batch,
+pre-refills the owning manager's frame stock with **one** SPCM request
+sized to the batch --- which the sharded SPCM turns into one batched
+``MigratePages`` kernel entry
+(:class:`~repro.core.api.BatchMigratePagesRequest`, full entry cost once,
+marginal cost per further run) --- then drives the queued references under
+:meth:`~repro.core.kernel.Kernel.attribute_tenant` so the shared fault
+pipeline is billed per tenant.  A request's reported latency is its queue
+wait (engine time) plus the metered cost of its own service.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernel import Kernel
+    from repro.serve.tenants import TenantSession
+
+
+@dataclass(frozen=True, slots=True)
+class QueuedRequest:
+    """One admitted reference waiting for the next flush."""
+
+    session: "TenantSession"
+    vaddr: int
+    write: bool
+    t_submit_us: float
+
+
+class BatchScheduler:
+    """Coalesces outstanding fault-service work into batched flushes."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        # (manager name, home node) -> FIFO of queued requests; walked in
+        # sorted key order at flush so the service order is deterministic
+        self._queues: dict[tuple[str, int], list[QueuedRequest]] = {}
+        self.backlog = 0
+        self.batches_flushed = 0
+        self.items_serviced = 0
+        self.errors = 0
+
+    def submit(
+        self,
+        session: "TenantSession",
+        vaddr: int,
+        write: bool,
+        t_submit_us: float,
+    ) -> None:
+        """Queue one admitted reference for the next flush."""
+        key = (session.manager.name, session.home_node)
+        self._queues.setdefault(key, []).append(
+            QueuedRequest(session, vaddr, write, t_submit_us)
+        )
+        self.backlog += 1
+
+    def flush(
+        self,
+        now_us: float,
+        on_serviced: Callable[["TenantSession", float, bool], None]
+        | None = None,
+    ) -> int:
+        """Service every queued request; returns the number serviced.
+
+        ``on_serviced(session, latency_us, ok)`` fires per request with
+        the queue wait + metered service latency; ``ok`` is False when
+        the reference raised (the error is counted, not propagated ---
+        one tenant's out-of-frames must not stall the batch).
+        """
+        if self.backlog == 0:
+            return 0
+        kernel = self.kernel
+        meter = kernel.meter
+        serviced = 0
+        for key in sorted(self._queues):
+            items = self._queues[key]
+            if not items:
+                continue
+            self._queues[key] = []
+            self.backlog -= len(items)
+            self.batches_flushed += 1
+            manager = items[0].session.manager
+            # one batched refill for the whole batch: the SPCM turns this
+            # into a single BatchMigratePagesRequest kernel entry instead
+            # of per-fault refill churn inside each reference below
+            missing = len(items) - manager.free_frames
+            if missing > 0:
+                manager.request_frames(missing)
+            for item in items:
+                session = item.session
+                before = meter.total_us
+                ok = True
+                try:
+                    with kernel.attribute_tenant(session.tenant):
+                        kernel.reference(
+                            session.segment, item.vaddr, item.write
+                        )
+                except ReproError:
+                    ok = False
+                    self.errors += 1
+                latency = (now_us - item.t_submit_us) + (
+                    meter.total_us - before
+                )
+                serviced += 1
+                self.items_serviced += 1
+                if on_serviced is not None:
+                    on_serviced(session, latency, ok)
+        return serviced
+
+    def stats_dict(self) -> dict[str, float]:
+        """Flat values for a metrics-registry provider."""
+        return {
+            "backlog": float(self.backlog),
+            "batches_flushed": float(self.batches_flushed),
+            "items_serviced": float(self.items_serviced),
+            "errors": float(self.errors),
+        }

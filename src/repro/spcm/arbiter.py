@@ -35,6 +35,30 @@ class GlobalArbiter:
         #: total drams moved between shard markets (sum of |transfer|/2)
         self.drams_rebalanced = 0.0
         self.rebalance_rounds = 0
+        #: account -> machine-wide frame-holding cap (the serving layer's
+        #: per-tenant dram quota); absent accounts are unlimited
+        self.quotas: dict[str, int] = {}
+
+    # -- per-tenant quotas ---------------------------------------------------
+
+    def set_quota(self, account: str, frames: int | None) -> None:
+        """Cap ``account``'s machine-wide frame holdings (None removes).
+
+        The quota lives at the global layer because holdings are summed
+        across every shard: a tenant cannot dodge its cap by spreading
+        requests over nodes.  The SPCM consults it at grant time and
+        *defers* (never refuses) a request that would breach it.
+        """
+        if frames is None:
+            self.quotas.pop(account, None)
+            return
+        if frames < 0:
+            raise ValueError(f"frame quota must be >= 0: {frames}")
+        self.quotas[account] = frames
+
+    def quota_of(self, account: str) -> int | None:
+        """The account's machine-wide frame cap, or None if unlimited."""
+        return self.quotas.get(account)
 
     # -- frame loans --------------------------------------------------------
 
@@ -99,10 +123,17 @@ class GlobalArbiter:
 
     def digest_rows(self) -> list:
         """Canonical rows of the loan ledger for the verify state digest."""
-        return [
-            ("loan", borrower, lender, n)
-            for (borrower, lender), n in sorted(self.loans.items())
-        ] + [("loans_brokered", self.loans_brokered)]
+        return (
+            [
+                ("loan", borrower, lender, n)
+                for (borrower, lender), n in sorted(self.loans.items())
+            ]
+            + [("loans_brokered", self.loans_brokered)]
+            + [
+                ("quota", account, frames)
+                for account, frames in sorted(self.quotas.items())
+            ]
+        )
 
     def stats_dict(self) -> dict[str, float]:
         """Flat values for a metrics-registry provider."""
@@ -111,4 +142,5 @@ class GlobalArbiter:
             "loan_edges": float(len(self.loans)),
             "drams_rebalanced": self.drams_rebalanced,
             "rebalance_rounds": float(self.rebalance_rounds),
+            "quota_accounts": float(len(self.quotas)),
         }

@@ -56,6 +56,12 @@ class DramAccount:
     total_transfers: float = field(default=0.0)
     #: integral of holding_mb over time (for share-of-machine checks)
     holding_mb_seconds: float = field(default=0.0)
+    #: advisory machine-wide holding ceiling (MB) mirrored from the
+    #: serving layer's TenantQuota; None means unlimited.  Enforcement
+    #: happens at the SPCM grant path (in frames, via the arbiter); the
+    #: market copy exists so the quota-conservation sweep can check the
+    #: summed holdings against it
+    quota_mb: float | None = field(default=None)
 
 
 class MemoryMarket:
@@ -159,6 +165,12 @@ class MemoryMarket:
                 f"for {mb_transferred:.2f} MB",
             )
         return charge
+
+    def set_quota(self, name: str, quota_mb: float | None) -> None:
+        """Record an account's advisory holding ceiling (None removes)."""
+        if quota_mb is not None and quota_mb < 0:
+            raise ValueError(f"quota_mb must be >= 0: {quota_mb}")
+        self.accounts[name].quota_mb = quota_mb
 
     def set_holding(self, name: str, holding_mb: float) -> None:
         """Record an account's current memory holding (charged by advance)."""

@@ -28,7 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.api import FrameDemand, FrameGrant, MigratePagesRequest
+from repro.core.api import (
+    BatchMigratePagesRequest,
+    FrameDemand,
+    FrameGrant,
+    MigratePagesRequest,
+    TenantQuota,
+)
 from repro.core.flags import PageFlags
 from repro.core.kernel import Kernel
 from repro.core.manager_api import SegmentManager
@@ -180,6 +186,8 @@ class SystemPageCacheManager:
         self.managers: dict[str, SegmentManager] = {}
         self.deferred_requests = 0
         self.refused_requests = 0
+        #: requests clamped or deferred by a per-tenant frame quota
+        self.quota_deferrals = 0
         self.granted_frames = 0
         self.seized_frames = 0
         self.retired_frames = 0
@@ -270,6 +278,24 @@ class SystemPageCacheManager:
         """The account a manager's holdings are charged to."""
         return self._accounts.get(manager.name, manager.name)
 
+    def set_tenant_quota(self, quota: TenantQuota) -> None:
+        """Install (or clear) a per-tenant dram quota.
+
+        The frame cap is enforced machine-wide through the arbiter at
+        grant time; the MB equivalent is mirrored into every shard market
+        the account is open in, so the quota-conservation sweep can check
+        summed holdings against it.
+        """
+        self.arbiter.set_quota(quota.account, quota.frames)
+        dram_mb = quota.dram_mb
+        if dram_mb is None and quota.frames is not None:
+            dram_mb = (
+                quota.frames * self.kernel.memory.page_size / (1024 * 1024)
+            )
+        for market in self.markets:
+            if quota.account in market.accounts:
+                market.set_quota(quota.account, dram_mb)
+
     # -- queries (what segment managers plan against, S2.4) --------------------
 
     def available_frames(self, page_size: int | None = None) -> int:
@@ -287,6 +313,7 @@ class SystemPageCacheManager:
             "granted_frames": float(self.granted_frames),
             "deferred_requests": float(self.deferred_requests),
             "refused_requests": float(self.refused_requests),
+            "quota_deferrals": float(self.quota_deferrals),
             "available_frames": float(self.available_frames()),
             "seized_frames": float(self.seized_frames),
             "retired_frames": float(self.retired_frames),
@@ -335,6 +362,7 @@ class SystemPageCacheManager:
             ("retired", self.retired_frames),
             ("deferred", self.deferred_requests),
             ("refused", self.refused_requests),
+            ("quota_deferrals", self.quota_deferrals),
         ]
         for size in sorted(self._free):
             rows.append(("free", size, tuple(sorted(self._free[size]))))
@@ -460,6 +488,22 @@ class SystemPageCacheManager:
                 f"SPCM refused {request.n_frames} frames for {account!r}"
             )
         n_grant = min(verdict.n_frames, n_matching)
+        # a per-tenant quota clamps the grant to the tenant's machine-wide
+        # headroom; a breach defers (never refuses), so the tenant recycles
+        # its own residents and retries rather than failing (S2.4 forced
+        # return, applied proactively at the cap)
+        quota = self.arbiter.quota_of(account)
+        if quota is not None and n_grant > 0:
+            headroom = quota - self.frames_held.get(account, 0)
+            if n_grant > headroom:
+                n_grant = max(0, headroom)
+                self.quota_deferrals += 1
+                if self.kernel.tracer.enabled:
+                    self.kernel.tracer.event(
+                        "spcm",
+                        f"quota clamp for {account}: headroom {headroom} "
+                        f"of {quota} frame cap",
+                    )
         if verdict.decision is AllocationDecision.DEFER or n_grant == 0:
             self.deferred_requests += 1
             if self.kernel.tracer.enabled:
@@ -586,7 +630,9 @@ class SystemPageCacheManager:
                         )
                     )
                     granted_pages.extend(range(dst_page, dst_page + n_run))
-                self.kernel.migrate_pages_batch(requests)
+                self.kernel.migrate_pages_batch(
+                    BatchMigratePagesRequest(tuple(requests))
+                )
                 local = home is None or node == home
                 self.shards[node].note_granted(
                     account, len(node_pages), local=local

@@ -161,12 +161,18 @@ def _resolve_workload(workload, nodes):
         # figure2 exists in both registries; the chaos workload wins
         # (it is the one the chaos suite actually runs)
         return workload, _chaos_driver(WORKLOADS[workload], nodes)
+    from repro.serve.loadgen import SERVING_SCHEDULES
+
+    if workload in SERVING_SCHEDULES:
+        return workload, _chaos_driver(SERVING_SCHEDULES[workload], nodes)
     if workload in NAMED_SCHEDULES:
         schedule = NAMED_SCHEDULES[workload](nodes=nodes)
         return workload, _schedule_driver(schedule, nodes)
     raise VerificationError(
         f"unknown workload {workload!r}; have chaos workloads "
-        f"{sorted(WORKLOADS)} and schedules {sorted(NAMED_SCHEDULES)}"
+        f"{sorted(WORKLOADS)}, serving schedules "
+        f"{sorted(SERVING_SCHEDULES)}, and schedules "
+        f"{sorted(NAMED_SCHEDULES)}"
     )
 
 

@@ -13,6 +13,10 @@ import pytest
 
 from repro.core.api import (
     API_VERSION,
+    AdmitTenantRequest,
+    AdmitTenantResult,
+    BatchMigratePagesRequest,
+    BatchMigratePagesResult,
     BatchStats,
     FrameDemand,
     FrameGrant,
@@ -23,8 +27,10 @@ from repro.core.api import (
     ModifyPageFlagsRequest,
     ModifyPageFlagsResult,
     PageAttribute,
+    RetryAfter,
     SetSegmentManagerRequest,
     SetSegmentManagerResult,
+    TenantQuota,
     reset_legacy_warnings,
 )
 from repro.core.flags import PageFlags
@@ -47,7 +53,7 @@ class TestPayloadRoundTrips:
     """Every request/result survives to_payload -> from_payload."""
 
     def test_api_version(self):
-        assert API_VERSION == (2, 0)
+        assert API_VERSION == (2, 1)
 
     def test_page_attribute(self):
         attr = PageAttribute(
@@ -171,6 +177,97 @@ class TestPayloadRoundTrips:
         assert grant.n_frames == 0
         assert FrameGrant.from_payload(grant.to_payload()) == grant
 
+    # -- the v2.1 serving vocabulary ------------------------------------
+
+    def test_batch_migrate_pages_request(self):
+        req = BatchMigratePagesRequest(
+            requests=(
+                MigratePagesRequest(1, 2, 0, 0, 4, home_node=0),
+                MigratePagesRequest(1, 2, 8, 4, 2, home_node=1),
+            )
+        )
+        assert (
+            BatchMigratePagesRequest.from_payload(req.to_payload()) == req
+        )
+        assert req.n_requests == 2
+        assert req.n_pages == 6
+
+    def test_batch_migrate_pages_request_coerces_tuple(self):
+        req = BatchMigratePagesRequest(
+            requests=[MigratePagesRequest(1, 2, 0, 0, 1)]  # type: ignore[arg-type]
+        )
+        assert type(req.requests) is tuple
+
+    def test_batch_migrate_pages_result(self):
+        result = BatchMigratePagesResult(
+            moved_pfns=(3, 4, 5),
+            batch=BatchStats(n_calls=2, n_pages=3, local_pages=3),
+            n_requests=2,
+        )
+        assert (
+            BatchMigratePagesResult.from_payload(result.to_payload())
+            == result
+        )
+        assert result.n_pages == 3
+
+    def test_retry_after(self):
+        shed = RetryAfter(
+            tenant="tenant-3", retry_after_us=1500.0, reason="backpressure"
+        )
+        assert RetryAfter.from_payload(shed.to_payload()) == shed
+
+    def test_retry_after_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RetryAfter("t", -1.0)
+
+    def test_tenant_quota(self):
+        quota = TenantQuota(account="tenant-0", frames=16, dram_mb=0.0625)
+        assert TenantQuota.from_payload(quota.to_payload()) == quota
+
+    def test_tenant_quota_unlimited_axes(self):
+        quota = TenantQuota(account="tenant-1")
+        assert quota.frames is None and quota.dram_mb is None
+        assert TenantQuota.from_payload(quota.to_payload()) == quota
+
+    def test_tenant_quota_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TenantQuota("t", frames=-1)
+        with pytest.raises(ValueError):
+            TenantQuota("t", dram_mb=-0.5)
+
+    def test_admit_tenant_request(self):
+        req = AdmitTenantRequest(
+            tenant="tenant-7",
+            home_node=1,
+            working_set_pages=32,
+            quota=TenantQuota("tenant-7", frames=8),
+        )
+        assert AdmitTenantRequest.from_payload(req.to_payload()) == req
+
+    def test_admit_tenant_request_no_quota(self):
+        req = AdmitTenantRequest(tenant="solo")
+        assert AdmitTenantRequest.from_payload(req.to_payload()) == req
+
+    def test_admit_tenant_request_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            AdmitTenantRequest(tenant="")
+        with pytest.raises(ValueError):
+            AdmitTenantRequest(tenant="t", working_set_pages=0)
+
+    def test_admit_tenant_result_admitted(self):
+        result = AdmitTenantResult(
+            admitted=True, tenant="tenant-2", account="tenant-2", home_node=0
+        )
+        assert AdmitTenantResult.from_payload(result.to_payload()) == result
+
+    def test_admit_tenant_result_shed(self):
+        result = AdmitTenantResult(
+            admitted=False,
+            tenant="tenant-9",
+            retry_after=RetryAfter("tenant-9", 250.0, reason="capacity"),
+        )
+        assert AdmitTenantResult.from_payload(result.to_payload()) == result
+
 
 @pytest.fixture
 def legacy_world(system):
@@ -223,6 +320,54 @@ class TestDeprecationShims:
         assert "MigratePagesRequest" in str(caught[0].message)
         # the legacy form still returns the moved PageFrame list
         assert moved[0] is seg.pages[0]
+
+    def test_migrate_pages_batch_list_warns_once(self, legacy_world):
+        kernel, _, manager = legacy_world
+        seg = kernel.create_segment(4, manager=manager)
+        boot = kernel.initial_segment
+        pages = sorted(boot.pages)[:2]
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            result = kernel.migrate_pages_batch(
+                [MigratePagesRequest(boot, seg, pages[0], 0, 1)]
+            )
+            kernel.migrate_pages_batch(
+                [MigratePagesRequest(boot, seg, pages[1], 1, 1)]
+            )
+        caught = _legacy_calls(record)
+        assert len(caught) == 1
+        assert "BatchMigratePagesRequest" in str(caught[0].message)
+        # the legacy list form keeps the v2.0 MigratePagesResult
+        assert isinstance(result, MigratePagesResult)
+        assert result.n_pages == 1
+
+    def test_migrate_pages_batch_typed_form(self, legacy_world):
+        kernel, _, manager = legacy_world
+        seg = kernel.create_segment(4, manager=manager)
+        boot = kernel.initial_segment
+        pages = sorted(boot.pages)[:2]
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            result = kernel.migrate_pages_batch(
+                BatchMigratePagesRequest(
+                    (
+                        MigratePagesRequest(boot, seg, pages[0], 0, 1),
+                        MigratePagesRequest(boot, seg, pages[1], 1, 1),
+                    )
+                )
+            )
+        assert _legacy_calls(record) == []
+        assert isinstance(result, BatchMigratePagesResult)
+        assert result.n_requests == 2
+        assert result.n_pages == 2
+        assert result.batch.n_calls == 2
+
+    def test_migrate_pages_batch_typed_empty(self, legacy_world):
+        kernel, _, _ = legacy_world
+        result = kernel.migrate_pages_batch(BatchMigratePagesRequest(()))
+        assert isinstance(result, BatchMigratePagesResult)
+        assert result.n_pages == 0
+        assert result.n_requests == 0
 
     def test_get_page_attributes_warns_once(self, legacy_world):
         kernel, _, manager = legacy_world

@@ -56,6 +56,22 @@ MICRO = {
 }
 
 
+SERVE = {
+    "experiment": "serve",
+    "schema_version": 1,
+    "meta": {"memory_mb": 8, "n_nodes": 2, "tenants": [1, 8],
+             "duration_us": 60000.0, "seed": 42},
+    "results": [
+        {"n_tenants": 1, "throughput_per_sim_s": 3900.0,
+         "tenant_p99_us_worst": 155.0, "fairness_index": 1.0,
+         "admitted_rate": 0.58},
+        {"n_tenants": 8, "throughput_per_sim_s": 31300.0,
+         "tenant_p99_us_worst": 155.0, "fairness_index": 1.0,
+         "admitted_rate": 0.58},
+    ],
+}
+
+
 def _write(directory, name, payload):
     path = os.path.join(directory, name)
     with open(path, "w", encoding="utf-8") as fh:
@@ -94,8 +110,30 @@ class TestDirectionAwareness:
         # completion times unchanged: still ok
         assert by_name["1-node completion (us)"].status(0.15) == "ok"
 
+    def test_serve_fairness_drop_is_regression(self):
+        current = json.loads(json.dumps(SERVE))
+        for row in current["results"]:
+            row["fairness_index"] *= 0.7
+        deltas = compare(SERVE, current, "s")
+        by_name = {d.name: d for d in deltas}
+        assert (
+            by_name["1-tenant fairness index"].status(0.15) == "REGRESSED"
+        )
+        # latency and throughput unchanged: still ok at full strength
+        assert by_name["1-tenant worst p99 (us)"].status(0.15) == "ok"
+        assert (
+            by_name["8-tenant throughput (req/sim-s)"].status(0.15) == "ok"
+        )
+
+    def test_serve_p99_blowup_is_regression(self):
+        current = json.loads(json.dumps(SERVE))
+        current["results"][1]["tenant_p99_us_worst"] *= 1.5
+        deltas = compare(SERVE, current, "s")
+        by_name = {d.name: d for d in deltas}
+        assert by_name["8-tenant worst p99 (us)"].status(0.15) == "REGRESSED"
+
     def test_identical_payloads_all_ok(self):
-        for payload in (TABLE1, NUMA):
+        for payload in (TABLE1, NUMA, SERVE):
             deltas = compare(payload, json.loads(json.dumps(payload)), "x")
             assert all(d.status(0.15) == "ok" for d in deltas)
             assert all(d.regression == 0.0 for d in deltas)
@@ -186,9 +224,11 @@ class TestCliExitCodes:
         _write(base, "BENCH_table1.json", TABLE1)
         _write(base, "BENCH_numa_scaleout.json", NUMA)
         _write(base, "BENCH_fault_path_micro.json", MICRO)
+        _write(base, "BENCH_serve.json", SERVE)
         _write(cur, "BENCH_table1.json", current_table1)
         _write(cur, "BENCH_numa_scaleout.json", current_numa or NUMA)
         _write(cur, "BENCH_fault_path_micro.json", MICRO)
+        _write(cur, "BENCH_serve.json", SERVE)
         return str(base), str(cur)
 
     def _run(self, base, cur, tolerance=0.15):
@@ -228,6 +268,7 @@ class TestCommittedBaselines:
         "BENCH_table1.json",
         "BENCH_numa_scaleout.json",
         "BENCH_fault_path_micro.json",
+        "BENCH_serve.json",
     )
 
     def test_baselines_carry_the_header(self):
