@@ -55,6 +55,9 @@ class System:
     #: the installed continuous-telemetry collector, if any (see
     #: :func:`repro.obs.telemetry.install_telemetry`)
     telemetry: "object | None" = None
+    #: the installed warm-restart coordinator, if any (see
+    #: :func:`repro.recovery.install_recovery`)
+    recovery: "object | None" = None
 
     @property
     def meter(self) -> CostMeter:

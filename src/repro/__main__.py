@@ -12,7 +12,8 @@ Registered drivers:
 * ``trace figure2|table1`` --- run one experiment under the tracer and
   print its fault-path profile (:mod:`repro.obs.cli`);
 * ``chaos <scenario>`` --- seeded fault-injection schedules with the
-  invariant checker and optional SLO watchdogs (:mod:`repro.chaos.cli`);
+  invariant checker, optional SLO watchdogs, and optional warm-restart
+  recovery (``--recovery``) (:mod:`repro.chaos.cli`);
 * ``bench numa|micro|serve|diff`` --- the benchmark writers plus the
   regression gate over their committed baselines;
 * ``verify`` --- the conformance harness: run-twice determinism gate,
@@ -81,8 +82,9 @@ COMMANDS: tuple[Subcommand, ...] = (
     Subcommand(
         "chaos",
         "<scenario>",
-        "run a seeded fault-injection schedule (--slo for SLO "
-        "watchdogs, --telemetry-out for a JSONL export)",
+        "run a seeded fault-injection schedule (--recovery for warm "
+        "restarts, --slo for SLO watchdogs, --telemetry-out for a "
+        "JSONL export)",
         _load("repro.chaos.cli"),
     ),
     Subcommand(

@@ -50,6 +50,13 @@ def main(argv: list[str] | None = None) -> int:
         "per-shard conservation invariant)",
     )
     parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="install the warm-restart coordinator (recovery journal + "
+        "checkpoints); manager crashes replay state in place and only "
+        "torn journals or crash loops fall back to cold failover",
+    )
+    parser.add_argument(
         "--slo",
         action="store_true",
         help="arm the SLO watchdogs (p99 fault latency, failover time, "
@@ -92,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
                 n_nodes=args.nodes,
                 slo=args.slo,
                 telemetry_interval_us=interval,
+                recovery=args.recovery,
             )
         except InvariantViolationError as exc:
             failures += 1
@@ -104,12 +112,20 @@ def main(argv: list[str] | None = None) -> int:
             else f"stopped ({result.error_type}: {result.error})"
         )
         slo_note = f", {result.n_alerts} SLO alert(s)" if args.slo else ""
+        recovery_note = (
+            f", {result.warm_restarts} warm restart(s), "
+            f"{result.cold_fallbacks} cold fallback(s)"
+            if result.recovery_stats
+            else ""
+        )
         print(
             f"seed {seed:>4}: {outcome}; {result.n_injected} injected "
             f"{dict(sorted(result.injected.items()))}, "
             f"{result.failovers} failover(s), "
             f"{result.fallback_resolutions} fallback resolution(s), "
-            f"{result.checks_run} invariant sweep(s)" + slo_note
+            f"{result.checks_run} invariant sweep(s)"
+            + recovery_note
+            + slo_note
         )
     if args.telemetry_out and last_result is not None:
         from repro.obs.telemetry import write_jsonl

@@ -39,6 +39,10 @@ class Scenario:
     description: str
     plan: ChaosPlan
     workload: str  # key into _WORKLOADS
+    #: install the warm-restart coordinator (recovery journal +
+    #: checkpoints) before running; crashes then retry a restart
+    #: before the kernel falls over to the fallback manager
+    recovery: bool = False
 
 
 @dataclass
@@ -64,6 +68,8 @@ class ChaosResult:
     alerts: list = field(default_factory=list)
     #: the telemetry collector, when sampling was requested
     telemetry: object | None = None
+    #: recovery-coordinator counters, when warm restart was installed
+    recovery_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_injected(self) -> int:
@@ -80,6 +86,14 @@ class ChaosResult:
     @property
     def failovers(self) -> int:
         return int(self.kernel_stats.get("manager_failovers", 0))
+
+    @property
+    def warm_restarts(self) -> int:
+        return int(self.kernel_stats.get("warm_restarts", 0))
+
+    @property
+    def cold_fallbacks(self) -> int:
+        return int(self.recovery_stats.get("cold_fallbacks", 0))
 
 
 # ---------------------------------------------------------------------------
@@ -415,6 +429,67 @@ SCENARIOS: dict[str, Scenario] = {
             ChaosPlan(disk_error_rate=0.1),
             "dbms",
         ),
+        Scenario(
+            "figure2-warm-restart",
+            "victim manager crashes on fault delivery; the recovery "
+            "coordinator replays checkpoint+journal and warm-restarts "
+            "it in place instead of failing over",
+            ChaosPlan(
+                manager_crash_rate=0.5, target_managers=(VICTIM_MANAGER,)
+            ),
+            "figure2",
+            recovery=True,
+        ),
+        Scenario(
+            "recovery-torn-journal",
+            "crashes land while injection shears the journal tail; warm "
+            "restart must detect the torn frame and fall back cold with "
+            "invariants intact",
+            ChaosPlan(
+                manager_crash_rate=0.4,
+                journal_tear_rate=0.8,
+                target_managers=(VICTIM_MANAGER,),
+            ),
+            "figure2",
+            recovery=True,
+        ),
+        Scenario(
+            "recovery-double-crash",
+            "a second crash lands during the in-flight restart window; "
+            "the consecutive-restart budget trips and the kernel fails "
+            "over cold",
+            ChaosPlan(
+                manager_crash_rate=0.85,
+                target_managers=(VICTIM_MANAGER,),
+            ),
+            "figure2",
+            recovery=True,
+        ),
+        Scenario(
+            "recovery-checkpoint-corrupt",
+            "checkpoints are corrupted on media; restore walks back to "
+            "an older generation (or the journal origin) and still "
+            "converges",
+            ChaosPlan(
+                manager_crash_rate=0.4,
+                checkpoint_corrupt_rate=0.5,
+                target_managers=(VICTIM_MANAGER,),
+            ),
+            "figure2",
+            recovery=True,
+        ),
+        Scenario(
+            "recovery-quota-pressure",
+            "tenant managers crash under quotas tighter than their "
+            "working sets; warm restarts must re-attach SPCM accounting "
+            "without minting or leaking quota frames",
+            ChaosPlan(
+                manager_crash_rate=0.2,
+                target_managers=SERVE_TENANTS,
+            ),
+            "serve-thrash",
+            recovery=True,
+        ),
     )
 }
 
@@ -428,6 +503,7 @@ def run_schedule(
     slo: bool = False,
     slo_policy=None,
     telemetry_interval_us: float | None = None,
+    recovery: bool = False,
 ) -> ChaosResult:
     """Run one seeded fault schedule of ``scenario``.
 
@@ -447,6 +523,13 @@ def run_schedule(
     that simulated interval; the collector rides on
     :attr:`ChaosResult.telemetry`.  Neither applies to the ``dbms``
     scenario (no kernel in that loop).
+
+    ``recovery=True`` (or a scenario declared with ``recovery=True``)
+    installs the warm-restart coordinator before the workload: manager
+    crashes then replay checkpoint+journal in place, and only torn
+    journals, corrupt checkpoints, or crash loops reach the kernel's
+    cold failover path.  The coordinator's counters land on
+    :attr:`ChaosResult.recovery_stats`.
     """
     spec = SCENARIOS.get(scenario)
     if spec is None:
@@ -461,6 +544,11 @@ def run_schedule(
     system = _build(tracer=tracer, n_nodes=n_nodes)
     injector = Injector(effective, tracer=system.tracer)
     injector.install(system)
+    coordinator = None
+    if recovery or spec.recovery:
+        from repro.recovery import install_recovery
+
+        coordinator = install_recovery(system)
     checker = InvariantChecker(system.kernel)
     injector.observers.append(checker)
     watchdog = None
@@ -495,6 +583,8 @@ def run_schedule(
     if collector is not None:
         collector.sample_now()  # close the series at the final sim time
         result.telemetry = collector
+    if coordinator is not None:
+        result.recovery_stats = coordinator.stats_dict()
     return result
 
 
@@ -503,9 +593,12 @@ def run_seed_matrix(
     seeds,
     plan: ChaosPlan | None = None,
     n_nodes: int | None = None,
+    recovery: bool = False,
 ) -> list[ChaosResult]:
     """Run ``scenario`` across ``seeds``; returns one result per seed."""
     return [
-        run_schedule(scenario, seed, plan=plan, n_nodes=n_nodes)
+        run_schedule(
+            scenario, seed, plan=plan, n_nodes=n_nodes, recovery=recovery
+        )
         for seed in seeds
     ]

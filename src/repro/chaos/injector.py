@@ -62,6 +62,13 @@ class NullInjector:
         """No injection: the message is delivered exactly once."""
         return None
 
+    def journal_tear(self, journal) -> None:
+        """No injection: the recovery journal tail is intact."""
+
+    def checkpoint_corrupt(self, name: str) -> bool:
+        """No injection: the checkpoint is readable."""
+        return False
+
 
 #: The shared disabled injector; identity-comparable (``is NULL_INJECTOR``).
 NULL_INJECTOR = NullInjector()
@@ -90,6 +97,7 @@ class Injector:
         self._ecc_rng = source.substream("chaos.ecc")
         self._mgr_rng = source.substream("chaos.manager")
         self._ipc_rng = source.substream("chaos.ipc")
+        self._journal_rng = source.substream("chaos.journal")
         self.tracer = tracer
         #: every injected event, in schedule order
         self.injected: list[InjectedFault] = []
@@ -220,6 +228,37 @@ class Injector:
             self._record("ipc_duplicate", name)
             return IPCFailureMode.DUPLICATE
         return None
+
+    def journal_tear(self, journal) -> None:
+        """Maybe shear bytes off the recovery journal's tail.
+
+        Models the crash interrupting the journal append itself: the
+        warm-restart path calls this before decoding, and the torn tail
+        forces :class:`~repro.recovery.restart.RecoveryCoordinator` down
+        its cold-failover branch.
+        """
+        plan = self.plan
+        if (
+            self.exhausted
+            or plan.journal_tear_rate <= 0.0
+            or not journal.enabled
+            or journal.size_bytes == 0
+        ):
+            return
+        if self._journal_rng.bernoulli(plan.journal_tear_rate):
+            n_bytes = self._journal_rng.randint(1, plan.journal_tear_max_bytes)
+            torn = journal.tear_tail(n_bytes)
+            if torn:
+                self._record("journal_tear", f"{torn} bytes")
+
+    def checkpoint_corrupt(self, name: str) -> bool:
+        """Is the checkpoint being taken for ``name`` damaged on media?"""
+        if self.exhausted or self.plan.checkpoint_corrupt_rate <= 0.0:
+            return False
+        if self._journal_rng.bernoulli(self.plan.checkpoint_corrupt_rate):
+            self._record("checkpoint_corrupt", name)
+            return True
+        return False
 
     # -- wiring ------------------------------------------------------------
 

@@ -84,6 +84,14 @@ class ChaosPlan:
     ipc_drop_rate: float = 0.0
     ipc_duplicate_rate: float = 0.0
 
+    # -- recovery (recovery/journal.py, recovery/checkpoint.py) ------------
+    #: probability a warm restart finds the journal tail torn
+    journal_tear_rate: float = 0.0
+    #: most bytes shaved off the journal tail when a tear fires (>= 1)
+    journal_tear_max_bytes: int = 64
+    #: probability one checkpoint generation is unreadable at restore
+    checkpoint_corrupt_rate: float = 0.0
+
     # -- scope -------------------------------------------------------------
     #: manager names eligible for injection; None means every manager
     #: except the kernel's fallback manager (which is always exempt)
@@ -103,6 +111,8 @@ class ChaosPlan:
             "manager_alloc_crash_rate": self.manager_alloc_crash_rate,
             "ipc_drop_rate": self.ipc_drop_rate,
             "ipc_duplicate_rate": self.ipc_duplicate_rate,
+            "journal_tear_rate": self.journal_tear_rate,
+            "checkpoint_corrupt_rate": self.checkpoint_corrupt_rate,
         }
         for name, rate in rates.items():
             if not 0.0 <= rate <= 1.0:
@@ -125,6 +135,11 @@ class ChaosPlan:
         if self.disk_slow_factor < 1.0:
             raise ChaosError(
                 f"disk_slow_factor must be >= 1: {self.disk_slow_factor}"
+            )
+        if self.journal_tear_max_bytes < 1:
+            raise ChaosError(
+                "journal_tear_max_bytes must be >= 1: "
+                f"{self.journal_tear_max_bytes}"
             )
         if self.max_injections is not None and self.max_injections < 0:
             raise ChaosError("max_injections must be non-negative")

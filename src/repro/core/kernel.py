@@ -59,6 +59,7 @@ from repro.hw.page_table import GlobalHashPageTable, Translation
 from repro.hw.phys_mem import PageFrame, PhysicalMemory
 from repro.hw.tlb import TLB
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.recovery.journal import NULL_JOURNAL
 
 __all__ = ["Kernel", "KernelStats", "PageAttribute"]
 
@@ -115,6 +116,12 @@ class KernelStats:
     ipc_drops: int = 0
     ipc_duplicates: int = 0
     ecc_retirements: int = 0
+    #: crashed managers rebuilt from checkpoint + journal replay instead
+    #: of failing over cold
+    warm_restarts: int = 0
+    #: exceptions swallowed from fault/failover listeners (the hooks are
+    #: observability, never control flow)
+    listener_errors: int = 0
     #: manager invocations by manager name (Table 3, column 1)
     manager_calls: dict[str, int] = field(default_factory=dict)
     #: MigratePages invocations by calling manager name (Table 3, column 2)
@@ -147,6 +154,8 @@ class KernelStats:
             "ipc_drops": float(self.ipc_drops),
             "ipc_duplicates": float(self.ipc_duplicates),
             "ecc_retirements": float(self.ecc_retirements),
+            "warm_restarts": float(self.warm_restarts),
+            "listener_errors": float(self.listener_errors),
         }
         for kind, n in self.faults_by_kind.items():
             out[f"faults.{kind.lower()}"] = float(n)
@@ -217,6 +226,11 @@ class Kernel:
         self.tlb.tracer = tracer
         #: fault injector (NULL_INJECTOR when chaos is disabled)
         self.injector = NULL_INJECTOR
+        #: recovery write-ahead journal (NULL_JOURNAL when recovery is off)
+        self.journal = NULL_JOURNAL
+        #: recovery coordinator, when installed (warm-restarts crashed
+        #: managers before the cold failover path below)
+        self._recovery = None
         #: manager the kernel fails segments over to when their own manager
         #: crashes, hangs, or keeps failing (``build_system`` points this at
         #: the default manager; None disables failover)
@@ -422,6 +436,14 @@ class Kernel:
             segment.manager.managed.discard(segment.seg_id)
         segment.manager = manager
         manager.managed.add(segment.seg_id)
+        if self.journal.enabled:
+            # ground truth for the recovery auditor (not replayed)
+            self.journal.append(
+                "kernel.bind",
+                manager.name,
+                seg=segment.seg_id,
+                previous=previous,
+            )
         return previous
 
     def migrate_pages(
@@ -944,11 +966,17 @@ class Kernel:
                 if self._tenant is not None:
                     self.stats.note_tenant_fault(self._tenant, latency)
                 for listener in self._fault_listeners:
-                    listener(latency)
+                    try:
+                        listener(latency)
+                    except Exception:
+                        self.stats.listener_errors += 1
                 if self._fault_step_listeners:
                     pfn = frame.pfn if frame is not None else None
                     for listener in self._fault_step_listeners:
-                        listener(space, vpn, write, latency, pfn)
+                        try:
+                            listener(space, vpn, write, latency, pfn)
+                        except Exception:
+                            self.stats.listener_errors += 1
 
     def on_fault_serviced(self, listener) -> None:
         """Call ``listener(latency_us)`` after each outermost fault service.
@@ -957,11 +985,22 @@ class Kernel:
         (dispatches, retries, and failovers included).  Telemetry and the
         SLO watchdogs subscribe here; with no listeners the fault path is
         untouched.
+
+        Listeners are observability, never control flow: an exception a
+        listener raises is swallowed (counted in
+        ``KernelStats.listener_errors``), the remaining listeners still
+        run, the listener stays subscribed, and the fault outcome is
+        unaffected.
         """
         self._fault_listeners.append(listener)
 
     def on_failover(self, listener) -> None:
-        """Call ``listener(duration_us)`` after each manager failover."""
+        """Call ``listener(duration_us)`` after each manager failover.
+
+        Same contract as :meth:`on_fault_serviced`: a raising listener is
+        counted in ``KernelStats.listener_errors`` and otherwise ignored
+        --- it keeps its subscription and never disturbs the failover.
+        """
         self._failover_listeners.append(listener)
 
     def on_fault_step(self, listener) -> None:
@@ -971,7 +1010,9 @@ class Kernel:
         ``pfn`` is the resolved frame number, or ``None`` when the slow
         path raised.  The verify harness subscribes here to build its
         per-fault incremental digest chain; with no listeners (and no
-        tracer) the fast path is untouched.
+        tracer) the fast path is untouched.  A raising listener follows
+        the :meth:`on_fault_serviced` contract: counted in
+        ``KernelStats.listener_errors``, never re-raised.
         """
         self._fault_step_listeners.append(listener)
 
@@ -1190,9 +1231,23 @@ class Kernel:
             self.stats.manager_crashes += 1
             if self._tracing:
                 self._step("kernel", f"manager crash detected: {crash}")
-            self._degradation_start = self.meter.total_us
+            # a second crash during an in-flight recovery/failover keeps
+            # the original detection time (the SLO measures degradation
+            # from first detection, not from the latest crash)
+            if self._degradation_start is None:
+                self._degradation_start = self.meter.total_us
+            recovery = self._recovery
+            if recovery is not None and recovery.try_restart(manager):
+                self.stats.warm_restarts += 1
+                self._degradation_start = None
+                return self.dispatch_fault(fault)
             self._fail_over(segment, manager, fault, "crashed")
             return self.dispatch_fault(fault)
+        recovery = self._recovery
+        if recovery is not None:
+            # the delivery succeeded: the manager is making progress, so
+            # its consecutive-restart budget resets
+            recovery.note_progress(manager)
 
     def _invoke_manager(
         self, manager: SegmentManager, fault: PageFault, byzantine: bool
@@ -1316,8 +1371,10 @@ class Kernel:
         """Per-fault timeout expired with no manager reply: fail over."""
         self.stats.manager_timeouts += 1
         # the failover clock starts at detection: the timeout spent
-        # waiting is part of the failover latency the SLO budgets
-        self._degradation_start = self.meter.total_us
+        # waiting is part of the failover latency the SLO budgets; an
+        # earlier in-flight detection keeps its (earlier) start time
+        if self._degradation_start is None:
+            self._degradation_start = self.meter.total_us
         self.meter.charge("manager_timeout", self.costs.manager_timeout_us)
         if self._tracing:
             self._step(
@@ -1384,7 +1441,10 @@ class Kernel:
         if self._failover_listeners:
             duration = self.meter.total_us - failover_start
             for listener in self._failover_listeners:
-                listener(duration)
+                try:
+                    listener(duration)
+                except Exception:
+                    self.stats.listener_errors += 1
 
     def retire_frame(self, frame: PageFrame) -> None:
         """Remove a frame from service after an uncorrectable ECC error.

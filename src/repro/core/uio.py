@@ -13,6 +13,7 @@ answers managers' fetch/store requests, charging device and network time.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from repro.core.faults import FaultKind, PageFault
@@ -25,6 +26,23 @@ from repro.hw.disk import Disk
 #: Transient disk errors are retried this many times (with exponential
 #: backoff) before the file server gives up on the request.
 MAX_IO_RETRIES = 4
+
+#: The backoff stops doubling after this many retries: later attempts
+#: wait the capped interval (times jitter) instead of growing without
+#: bound when a server is configured with a large attempt budget.
+MAX_IO_BACKOFF_DOUBLINGS = 6
+
+
+def _backoff_jitter(op: str, block_no: int, attempt: int) -> float:
+    """Deterministic jitter factor in [0.5, 1.0).
+
+    Pure exponential backoff synchronizes retries across requests that
+    failed together; jitter de-correlates them.  The factor is a hash of
+    the operation identity rather than a random draw, so seeded runs
+    stay bit-reproducible.
+    """
+    digest = zlib.crc32(f"io:{op}:{block_no}:{attempt}".encode())
+    return 0.5 + (digest % 4096) / 8192.0
 
 
 def pages_for_bytes(n_bytes: int, page_size: int) -> int:
@@ -55,15 +73,30 @@ class FileServer:
     """
 
     def __init__(
-        self, kernel: Kernel, disk: Disk, network_rtt_us: float = 0.0
+        self,
+        kernel: Kernel,
+        disk: Disk,
+        network_rtt_us: float = 0.0,
+        max_io_attempts: int = MAX_IO_RETRIES,
     ) -> None:
+        if max_io_attempts < 1:
+            raise UIOError(
+                f"max_io_attempts must be at least 1: {max_io_attempts}"
+            )
         self.kernel = kernel
         self.disk = disk
         self.network_rtt_us = network_rtt_us
+        self.max_io_attempts = max_io_attempts
         self._files: dict[int, CachedFile] = {}
         self._next_block = 0
         self.io_retries = 0
         self.io_errors = 0
+        #: simulated time spent waiting in retry backoff
+        self.io_backoff_us = 0.0
+        #: retries whose backoff hit the doubling cap
+        self.io_retry_caps = 0
+        #: requests abandoned after the attempt budget ran out
+        self.io_exhausted = 0
 
     # -- disk access with transient-error retry ---------------------------
 
@@ -87,15 +120,23 @@ class FileServer:
                 return attempt_fn()
             except TransientDiskError as exc:
                 self.io_errors += 1
-                if attempt > MAX_IO_RETRIES:
+                if attempt > self.max_io_attempts:
+                    self.io_exhausted += 1
                     raise UIOError(
                         f"disk {op} at block {block_no} failed after "
-                        f"{MAX_IO_RETRIES} retries: {exc}"
+                        f"{self.max_io_attempts} retries: {exc}"
                     ) from exc
                 self.io_retries += 1
+                doublings = attempt - 1
+                if doublings > MAX_IO_BACKOFF_DOUBLINGS:
+                    doublings = MAX_IO_BACKOFF_DOUBLINGS
+                    self.io_retry_caps += 1
                 backoff = (
-                    self.kernel.costs.io_retry_backoff_us * 2 ** (attempt - 1)
+                    self.kernel.costs.io_retry_backoff_us
+                    * 2**doublings
+                    * _backoff_jitter(op, block_no, attempt)
                 )
+                self.io_backoff_us += backoff
                 self.kernel.meter.charge("io_retry", backoff)
                 if self.kernel.tracer.enabled:
                     self.kernel.tracer.event(
@@ -111,6 +152,9 @@ class FileServer:
             "files": float(len(self._files)),
             "io_retries": float(self.io_retries),
             "io_errors": float(self.io_errors),
+            "io_backoff_us": self.io_backoff_us,
+            "io_retry_caps": float(self.io_retry_caps),
+            "io_exhausted": float(self.io_exhausted),
         }
 
     def create_file(

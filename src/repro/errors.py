@@ -80,9 +80,13 @@ class OutOfFramesError(ManagerError):
 class ManagerCrashError(ManagerError):
     """A segment manager process died while (or before) handling a request.
 
-    The kernel treats this like any other manager failure: it fails the
-    segment over to the fallback (default) manager and lets the SPCM
-    forcibly reclaim the dead manager's free frames.
+    When a recovery coordinator is installed the kernel first attempts a
+    *warm restart*: the manager's policy state is rebuilt from its latest
+    checkpoint plus the write-ahead journal suffix and the fault is
+    redelivered.  Only when that fails (torn journal, exhausted restart
+    budget, replay deadline) does the kernel fall back to the original
+    cold path: fail the segments over to the fallback (default) manager
+    and let the SPCM forcibly reclaim the dead manager's free frames.
     """
 
 
@@ -142,3 +146,24 @@ class DigestVersionError(VerificationError):
 
 class ScheduleFormatError(VerificationError):
     """A workload schedule (corpus entry) was malformed or unreadable."""
+
+
+class RecoveryError(ReproError):
+    """Base class for errors raised by the crash-recovery subsystem."""
+
+
+class JournalCorruptionError(RecoveryError):
+    """A journal record or checkpoint failed its CRC/framing check.
+
+    A corrupt *tail* is expected after a torn write and is truncated
+    silently; this error means state needed for a warm restart (a
+    checkpoint, or a record before the torn tail) was unusable.
+    """
+
+
+class ReplayDeadlineError(RecoveryError):
+    """Journal replay would exceed the warm-restart deadline.
+
+    The coordinator gives up on the warm path and lets the kernel fall
+    back to the cold failover rather than blocking fault service.
+    """

@@ -38,6 +38,7 @@ from repro.core.flags import PageFlags
 from repro.core.manager_api import InvocationMode, SegmentManager
 from repro.core.segment import Segment
 from repro.errors import ManagerError, OutOfFramesError
+from repro.recovery.journal import NULL_JOURNAL
 from repro.spcm.spcm import FrameRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,6 +70,10 @@ class GenericSegmentManager(SegmentManager):
     ) -> None:
         super().__init__(kernel, name)
         self.spcm = spcm
+        # recovery hooks: registration below swaps in the live journal
+        # when a recovery coordinator is installed
+        self.journal = NULL_JOURNAL
+        self.restarts = 0
         self.account = spcm.register_manager(self)
         self.page_size = page_size or kernel.memory.page_size
         #: NUMA node this manager's workload runs on; frame requests are
@@ -127,6 +132,10 @@ class GenericSegmentManager(SegmentManager):
             self.free_segment,
         )
         self._free_slots.extend(pages)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.slots_granted", self.name, slots=list(pages)
+            )
         return len(pages)
 
     def return_frames(self, n_frames: int, node: int | None = None) -> int:
@@ -161,6 +170,10 @@ class GenericSegmentManager(SegmentManager):
             self._drop_stale(slot)
         self.spcm.return_frames(self, self.free_segment, slots)
         self._empty_slots.extend(slots)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.slots_surrendered", self.name, slots=list(slots)
+            )
         return FrameGrant(tuple(slots), node=node)
 
     def allocate_slot(self) -> int:
@@ -189,6 +202,8 @@ class GenericSegmentManager(SegmentManager):
             )
         slot = self._free_slots.pop()
         self._drop_stale(slot)
+        if self.journal.enabled:
+            self.journal.append("mgr.alloc", self.name, slot=slot)
         return slot
 
     def allocate_run(self, n_slots: int) -> list[int]:
@@ -209,6 +224,8 @@ class GenericSegmentManager(SegmentManager):
         for slot in run:
             self._free_slots.remove(slot)
             self._drop_stale(slot)
+        if self.journal.enabled:
+            self.journal.append("mgr.allocrun", self.name, slots=list(run))
         return run
 
     def _pop_slot(self) -> int:
@@ -221,6 +238,8 @@ class GenericSegmentManager(SegmentManager):
             raise OutOfFramesError(f"manager {self.name} is out of frames")
         slot = self._free_slots.pop()
         self._drop_stale(slot)
+        if self.journal.enabled:
+            self.journal.append("mgr.alloc", self.name, slot=slot)
         return slot
 
     def _maybe_crash_in_alloc(self) -> None:
@@ -263,6 +282,152 @@ class GenericSegmentManager(SegmentManager):
             "duplicate_deliveries": float(self.duplicate_deliveries),
         }
 
+    # ------------------------------------------------------------------
+    # crash recovery (checkpoint serialization + journal replay)
+    # ------------------------------------------------------------------
+
+    def serialize_policy_state(self) -> dict:
+        """Checkpointable snapshot of the private policy structures.
+
+        Plain data only (ints, strings, lists) so the canonical encoding
+        round-trips through JSON.  Counters ride along for monitoring
+        continuity; the exactness contract covers the structures.
+        """
+        return {
+            "free_slots": list(self._free_slots),
+            "empty_slots": list(self._empty_slots),
+            "stale": [
+                [slot, key[0], key[1]]
+                for slot, key in self._stale_origin.items()
+            ],
+            "resident": [[seg, page] for seg, page in self._resident],
+            "pinned": sorted(self.pinned_segments),
+            "counters": {
+                "faults_handled": self.faults_handled,
+                "fast_reclaims": self.fast_reclaims,
+                "pages_reclaimed": self.pages_reclaimed,
+                "writebacks": self.writebacks,
+                "duplicate_deliveries": self.duplicate_deliveries,
+            },
+        }
+
+    def restore_policy_state(self, state: dict | None) -> None:
+        """Reincarnate in place from a checkpoint (``None``: fresh boot).
+
+        Wipes every private policy structure --- modeling an exec()ed
+        replacement manager process attaching to the same segments ---
+        then loads the checkpoint.  Journal-suffix replay and the
+        recovery auditor finish the job.
+        """
+        self._free_slots = []
+        self._empty_slots = []
+        self._stale_origin = {}
+        self._stale_slot = {}
+        self._resident = OrderedDict()
+        self.pinned_segments = set()
+        self.faults_handled = 0
+        self.fast_reclaims = 0
+        self.pages_reclaimed = 0
+        self.writebacks = 0
+        self.duplicate_deliveries = 0
+        if state is None:
+            return
+        self._free_slots = [int(s) for s in state["free_slots"]]
+        self._empty_slots = [int(s) for s in state["empty_slots"]]
+        for slot, seg, page in state["stale"]:
+            self._stale_origin[slot] = (seg, page)
+            self._stale_slot[(seg, page)] = slot
+        for seg, page in state["resident"]:
+            self._resident[(seg, page)] = None
+        self.pinned_segments = set(state["pinned"])
+        counters = state.get("counters", {})
+        self.faults_handled = counters.get("faults_handled", 0)
+        self.fast_reclaims = counters.get("fast_reclaims", 0)
+        self.pages_reclaimed = counters.get("pages_reclaimed", 0)
+        self.writebacks = counters.get("writebacks", 0)
+        self.duplicate_deliveries = counters.get("duplicate_deliveries", 0)
+
+    def replay_record(self, record: dict) -> None:
+        """Apply one journal record to the policy structures.
+
+        Mutates the structures directly (never through the emitting
+        methods, which would journal again or touch the kernel).  Kinds
+        outside the ``mgr.`` namespace are ground-truth records for the
+        auditor and are ignored here.  Removals are tolerant --- after a
+        torn journal the referenced entry may already be gone; the
+        auditor reconciles what replay cannot.
+        """
+        kind = str(record.get("kind", ""))
+        if not kind.startswith("mgr."):
+            return
+        if kind == "mgr.slots_granted":
+            self._free_slots.extend(record["slots"])
+        elif kind == "mgr.slots_surrendered":
+            for slot in record["slots"]:
+                if slot in self._free_slots:
+                    self._free_slots.remove(slot)
+                self._drop_stale(slot)
+            self._empty_slots.extend(record["slots"])
+        elif kind == "mgr.alloc":
+            slot = record["slot"]
+            if slot in self._free_slots:
+                self._free_slots.remove(slot)
+            self._drop_stale(slot)
+        elif kind == "mgr.allocrun":
+            for slot in record["slots"]:
+                if slot in self._free_slots:
+                    self._free_slots.remove(slot)
+                self._drop_stale(slot)
+        elif kind == "mgr.place":
+            self._empty_slots.append(record["slot"])
+            self._resident[(record["seg"], record["page"])] = None
+        elif kind == "mgr.fastreclaim":
+            key = (record["seg"], record["page"])
+            slot = record["slot"]
+            self._stale_slot.pop(key, None)
+            self._stale_origin.pop(slot, None)
+            if slot in self._free_slots:
+                self._free_slots.remove(slot)
+            self._empty_slots.append(slot)
+            self._resident[key] = None
+        elif kind == "mgr.evict":
+            slot = record["slot"]
+            # a grown slot never sat in the recycling list; the kernel-side
+            # segment growth itself survives the crash
+            if not record["grew"] and slot in self._empty_slots:
+                self._empty_slots.remove(slot)
+            self._free_slots.append(slot)
+            key = (record["seg"], record["page"])
+            self._stale_origin[slot] = key
+            self._stale_slot[key] = slot
+            self._resident.pop(key, None)
+        elif kind == "mgr.segdel":
+            seg = record["seg"]
+            for page, slot, grew in record["moves"]:
+                if not grew and slot in self._empty_slots:
+                    self._empty_slots.remove(slot)
+                self._free_slots.append(slot)
+                self._resident.pop((seg, page), None)
+            self.pinned_segments.discard(seg)
+        elif kind == "mgr.adopt":
+            for page in record["pages"]:
+                self._resident[(record["seg"], page)] = None
+        elif kind == "mgr.seized":
+            seized = set(record["slots"])
+            self._free_slots = [
+                s for s in self._free_slots if s not in seized
+            ]
+            for slot in record["slots"]:
+                self._drop_stale(slot)
+            self._empty_slots.extend(record["slots"])
+        elif kind == "mgr.pin":
+            self.pinned_segments.add(record["seg"])
+        elif kind == "mgr.unpin":
+            self.pinned_segments.discard(record["seg"])
+        elif kind == "mgr.invalidate":
+            self._stale_origin.clear()
+            self._stale_slot.clear()
+
     def invalidate_reclaim_cache(self) -> None:
         """Forget the migrate-back cache (reclaimed data no longer valid).
 
@@ -272,6 +437,8 @@ class GenericSegmentManager(SegmentManager):
         """
         self._stale_origin.clear()
         self._stale_slot.clear()
+        if self.journal.enabled:
+            self.journal.append("mgr.invalidate", self.name)
 
     def _drop_stale(self, slot: int) -> None:
         origin = self._stale_origin.pop(slot, None)
@@ -317,6 +484,14 @@ class GenericSegmentManager(SegmentManager):
             self._empty_slots.append(stale_slot)
             self._note_resident(segment, fault.page)
             self.fast_reclaims += 1
+            if self.journal.enabled:
+                self.journal.append(
+                    "mgr.fastreclaim",
+                    self.name,
+                    seg=fault.segment_id,
+                    page=fault.page,
+                    slot=stale_slot,
+                )
             return
         slot = self.allocate_slot()
         frame = self.free_segment.pages[slot]
@@ -344,6 +519,14 @@ class GenericSegmentManager(SegmentManager):
         )
         self._empty_slots.append(slot)
         self._note_resident(segment, fault.page)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.place",
+                self.name,
+                seg=fault.segment_id,
+                page=fault.page,
+                slot=slot,
+            )
         if self.kernel.trace is not None or self.kernel.tracer.enabled:
             self.kernel._step(
                 "manager",
@@ -457,7 +640,8 @@ class GenericSegmentManager(SegmentManager):
             else:
                 self.writeback(segment, page, frame)
         slot = self._empty_slots.pop() if self._empty_slots else None
-        if slot is None:
+        grew = slot is None
+        if grew:
             slot = self.free_segment.n_pages
             self.free_segment.grow(1)
         self.kernel.migrate_pages(
@@ -475,6 +659,15 @@ class GenericSegmentManager(SegmentManager):
         self._stale_slot[key] = slot
         self._resident.pop(key, None)
         self.pages_reclaimed += 1
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.evict",
+                self.name,
+                seg=segment.seg_id,
+                page=page,
+                slot=slot,
+                grew=int(grew),
+            )
 
     def _note_resident(self, segment: Segment, page: int) -> None:
         self._resident[(segment.seg_id, page)] = None
@@ -486,9 +679,11 @@ class GenericSegmentManager(SegmentManager):
     def segment_deleted(self, segment: Segment) -> None:
         """Reclaim every frame of a dying segment; its data is dead, so
         no writeback and no migrate-back cache entries."""
+        moves: list[list[int]] = []
         for page in sorted(segment.pages):
             slot = self._empty_slots.pop() if self._empty_slots else None
-            if slot is None:
+            grew = slot is None
+            if grew:
                 slot = self.free_segment.n_pages
                 self.free_segment.grow(1)
             self.kernel.migrate_pages(
@@ -502,7 +697,12 @@ class GenericSegmentManager(SegmentManager):
             )
             self._free_slots.append(slot)
             self._resident.pop((segment.seg_id, page), None)
+            moves.append([page, slot, int(grew)])
         self.pinned_segments.discard(segment.seg_id)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.segdel", self.name, seg=segment.seg_id, moves=moves
+            )
 
     def release_frames(
         self, demand: FrameDemand | int
@@ -531,6 +731,10 @@ class GenericSegmentManager(SegmentManager):
         pages = sorted(segment.pages)
         for page in pages:
             self._note_resident(segment, page)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.adopt", self.name, seg=segment.seg_id, pages=list(pages)
+            )
         return FrameGrant(tuple(pages))
 
     def on_frames_seized(self, grant: FrameGrant | list[int]) -> None:
@@ -543,6 +747,10 @@ class GenericSegmentManager(SegmentManager):
         for slot in grant.pages:
             self._drop_stale(slot)
         self._empty_slots.extend(grant.pages)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.seized", self.name, slots=list(grant.pages)
+            )
 
     # ------------------------------------------------------------------
     # pinning helpers (S2.2: the manager keeps its own pages in memory)
@@ -551,10 +759,14 @@ class GenericSegmentManager(SegmentManager):
     def pin_segment(self, segment: Segment) -> None:
         """Exclude a segment's pages from replacement."""
         self.pinned_segments.add(segment.seg_id)
+        if self.journal.enabled:
+            self.journal.append("mgr.pin", self.name, seg=segment.seg_id)
 
     def unpin_segment(self, segment: Segment) -> None:
         """Re-admit a segment's pages to replacement."""
         self.pinned_segments.discard(segment.seg_id)
+        if self.journal.enabled:
+            self.journal.append("mgr.unpin", self.name, seg=segment.seg_id)
 
     def resident_pages_of(self, segment: Segment) -> list[int]:
         """Page indices of ``segment`` currently backed by frames."""

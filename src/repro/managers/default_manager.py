@@ -156,10 +156,25 @@ class DefaultSegmentManager(GenericSegmentManager):
         self._empty_slots.extend(slots)
         for page in run:
             self._note_resident(segment, page)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.place_run",
+                self.name,
+                seg=fault.segment_id,
+                pages=list(run),
+                slots=list(slots),
+            )
 
     def on_protection_fault(self, segment: Segment, fault: PageFault) -> None:
         """Sampling fault from the protection clock: re-enable a batch."""
-        self.sampler.note_protection_fault(segment, fault.page)
+        restored = self.sampler.note_protection_fault(segment, fault.page)
+        if self.journal.enabled:
+            self.journal.append(
+                "mgr.sample",
+                self.name,
+                seg=segment.seg_id,
+                restored=restored,
+            )
 
     # ------------------------------------------------------------------
     # page-in / page-out policy
@@ -191,7 +206,17 @@ class DefaultSegmentManager(GenericSegmentManager):
         self.writebacks += 1
 
     def select_victims(self, n_pages: int) -> list[tuple[Segment, int]]:
-        return self.clock.select_victims(n_pages)
+        victims = self.clock.select_victims(n_pages)
+        if self.journal.enabled:
+            # the sweep mutated the clock ring and hand; journal the
+            # post-sweep position so replay restores the same rotation
+            self.journal.append(
+                "mgr.clock",
+                self.name,
+                ring=[[seg, page] for seg, page in self.clock._ring],
+                hand=self.clock._hand,
+            )
+        return victims
 
     # ------------------------------------------------------------------
     # file open/close requests forwarded by the kernel
@@ -251,6 +276,91 @@ class DefaultSegmentManager(GenericSegmentManager):
             freed = self._rebalance(segments, frames_to_free)
             span.set_attr("n_freed", freed)
             return freed
+
+    # ------------------------------------------------------------------
+    # crash recovery: clock/sampler state rides along
+    # ------------------------------------------------------------------
+
+    def serialize_policy_state(self) -> dict:
+        state = super().serialize_policy_state()
+        # guard: the base __init__ can checkpoint (via its first frame
+        # grant) before the sampler and clock exist
+        sampler = getattr(self, "sampler", None)
+        clock = getattr(self, "clock", None)
+        state["sampler"] = {
+            "referenced": (
+                sorted(
+                    [seg, n] for seg, n in sampler.referenced.items()
+                )
+                if sampler is not None
+                else []
+            ),
+            "protection_faults": (
+                sampler.protection_faults if sampler is not None else 0
+            ),
+        }
+        state["clock"] = {
+            "ring": (
+                [[seg, page] for seg, page in clock._ring]
+                if clock is not None
+                else []
+            ),
+            "hand": clock._hand if clock is not None else 0,
+        }
+        counters = state["counters"]
+        counters["append_allocations"] = getattr(
+            self, "append_allocations", 0
+        )
+        counters["files_opened"] = getattr(self, "files_opened", 0)
+        counters["files_closed"] = getattr(self, "files_closed", 0)
+        return state
+
+    def restore_policy_state(self, state: dict | None) -> None:
+        super().restore_policy_state(state)
+        self.sampler.referenced = {}
+        self.sampler.protection_faults = 0
+        self.clock._ring = []
+        self.clock._hand = 0
+        self.append_allocations = 0
+        self.files_opened = 0
+        self.files_closed = 0
+        if state is None:
+            return
+        sampler = state.get("sampler", {})
+        self.sampler.referenced = {
+            seg: n for seg, n in sampler.get("referenced", [])
+        }
+        self.sampler.protection_faults = sampler.get("protection_faults", 0)
+        clock = state.get("clock", {})
+        self.clock._ring = [
+            (seg, page) for seg, page in clock.get("ring", [])
+        ]
+        self.clock._hand = clock.get("hand", 0)
+        counters = state.get("counters", {})
+        self.append_allocations = counters.get("append_allocations", 0)
+        self.files_opened = counters.get("files_opened", 0)
+        self.files_closed = counters.get("files_closed", 0)
+
+    def replay_record(self, record: dict) -> None:
+        kind = str(record.get("kind", ""))
+        if kind == "mgr.place_run":
+            seg = record["seg"]
+            self._empty_slots.extend(record["slots"])
+            for page in record["pages"]:
+                self._resident[(seg, page)] = None
+        elif kind == "mgr.sample":
+            seg = record["seg"]
+            self.sampler.referenced[seg] = (
+                self.sampler.referenced.get(seg, 0) + record["restored"]
+            )
+            self.sampler.protection_faults += 1
+        elif kind == "mgr.clock":
+            self.clock._ring = [
+                (seg, page) for seg, page in record["ring"]
+            ]
+            self.clock._hand = record["hand"]
+        else:
+            super().replay_record(record)
 
     def _rebalance(self, segments: list[Segment], frames_to_free: int) -> int:
         freed = 0

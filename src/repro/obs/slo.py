@@ -51,6 +51,9 @@ class SLOPolicy:
     tenant_p99_us: float | None = None
     #: per-tenant observations needed before that objective is judged
     min_tenant_samples: int = 10
+    #: one warm restart's metered duration budget (restore + replay);
+    #: judged only when a recovery coordinator is installed
+    warm_restart_us: float = 10_000.0
 
 
 #: the default policy (module-level so callers can share one instance)
@@ -120,6 +123,9 @@ class SLOWatchdog:
         kernel = self.system.kernel
         kernel.on_fault_serviced(self._on_fault)
         kernel.on_failover(self._on_failover)
+        recovery = getattr(self.system, "recovery", None)
+        if recovery is not None:
+            recovery.on_restart(self._on_restart)
         return self
 
     def __call__(self, _event=None) -> None:
@@ -193,6 +199,31 @@ class SLOWatchdog:
             self.policy.failover_us,
             severity="warning",
             detail=f"manager failover took {duration_us:.0f} us",
+        )
+
+    def _on_restart(self, manager: str, duration_us: float, warm: bool) -> None:
+        if warm:
+            # like failovers, each restart is its own excursion
+            self._firing.discard("warm_restart_time")
+            self._judge(
+                "warm_restart_time",
+                duration_us,
+                self.policy.warm_restart_us,
+                severity="warning",
+                detail=(
+                    f"warm restart of {manager} took {duration_us:.0f} us"
+                ),
+            )
+            return
+        # a cold fallback is an objective violation in itself: recovery
+        # promised to absorb the crash and could not
+        self._firing.discard("cold_fallback")
+        self._fire(
+            "cold_fallback",
+            1.0,
+            0.0,
+            severity="critical",
+            detail=f"manager {manager} fell back cold",
         )
 
     # -- swept objectives ---------------------------------------------------

@@ -235,6 +235,9 @@ class TelemetryCollector:
                 (lambda s=shard: s.retired_frames),
             )
         self._bind_managers(spcm)
+        recovery = getattr(system, "recovery", None)
+        if recovery is not None:
+            self.bind("recovery", recovery.stats_dict)
 
         def paced(latency_us: float) -> None:
             self.observe_fault(latency_us)

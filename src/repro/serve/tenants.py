@@ -61,6 +61,9 @@ class TenantSession:
             "shed": float(self.shed),
             "serviced": float(self.serviced),
             "p99_us": self.latency.percentile(99),
+            # warm restarts the tenant's manager rode through (the
+            # session itself survives; only failovers shed tenants)
+            "restarts": float(getattr(self.manager, "restarts", 0)),
         }
 
 

@@ -41,6 +41,7 @@ from repro.core.manager_api import SegmentManager
 from repro.core.segment import Segment
 from repro.errors import AllocationRefusedError, SPCMError
 from repro.hw.numa import NumaTopology
+from repro.recovery.journal import NULL_JOURNAL
 from repro.spcm.arbiter import GlobalArbiter
 from repro.spcm.freelist import NodeBucketedFreeList
 from repro.spcm.market import MemoryMarket
@@ -188,6 +189,10 @@ class SystemPageCacheManager:
         self.refused_requests = 0
         #: requests clamped or deferred by a per-tenant frame quota
         self.quota_deferrals = 0
+        #: recovery journal (NULL_JOURNAL until a coordinator installs one)
+        self.journal = NULL_JOURNAL
+        #: warm-restarted managers re-attached to surviving accounting
+        self.reattached_managers = 0
         self.granted_frames = 0
         self.seized_frames = 0
         self.retired_frames = 0
@@ -272,6 +277,11 @@ class SystemPageCacheManager:
                 )
             else:
                 shard.market.open_account(name)
+        recovery = getattr(self.kernel, "_recovery", None)
+        if recovery is not None:
+            # a coordinator is installed: journal and checkpoint this
+            # manager from birth (chaos victims, admitted tenants)
+            recovery.track(manager)
         return name
 
     def account_of(self, manager: SegmentManager) -> str:
@@ -317,6 +327,7 @@ class SystemPageCacheManager:
             "available_frames": float(self.available_frames()),
             "seized_frames": float(self.seized_frames),
             "retired_frames": float(self.retired_frames),
+            "reattached_managers": float(self.reattached_managers),
             "n_shards": float(self.n_shards),
             "local_grant_pages": float(self.local_grant_pages),
             "remote_grant_pages": float(self.remote_grant_pages),
@@ -547,6 +558,14 @@ class SystemPageCacheManager:
         )
         self.granted_frames += len(granted_pages)
         self._update_market_holding(account, size)
+        if self.journal.enabled:
+            # ground truth for the recovery auditor (not replayed)
+            self.journal.append(
+                "spcm.grant",
+                manager.name,
+                account=account,
+                n=len(granted_pages),
+            )
         return granted_pages
 
     @staticmethod
@@ -717,6 +736,10 @@ class SystemPageCacheManager:
         for node, n_returned in returned_by_node.items():
             self.shards[node].note_returned(account, n_returned)
         self._update_market_holding(account, size)
+        if self.journal.enabled:
+            self.journal.append(
+                "spcm.return", manager.name, account=account, n=len(pages)
+            )
         if self.available_frames(size) > 0:
             for market in self.markets:
                 market.demand_outstanding = False
@@ -766,8 +789,43 @@ class SystemPageCacheManager:
                 self.return_frames(manager, free_segment, pages)
             manager.on_frames_seized(FrameGrant(tuple(pages)))
             self.seized_frames += len(pages)
+            if self.journal.enabled:
+                self.journal.append(
+                    "spcm.seize",
+                    manager.name,
+                    account=self.account_of(manager),
+                    n=len(pages),
+                )
             span.set_attr("n_seized", len(pages))
             return len(pages)
+
+    def reattach_manager(self, manager: SegmentManager) -> None:
+        """Re-attach a warm-restarted manager to its surviving books.
+
+        A manager crash loses only *policy* state; the SPCM's ledger for
+        the account survives by construction, so a warm restart keeps the
+        grant accounting exactly as it stands instead of seizing the free
+        segment (the cold path's :meth:`seize_frames`).  The re-attach is
+        journaled so the recovery auditor can cross-check the held-frame
+        count it reconciled against.
+        """
+        account = self.account_of(manager)
+        self.frames_held.setdefault(account, 0)
+        self.managers[manager.name] = manager
+        self.reattached_managers += 1
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.event(
+                "spcm",
+                f"re-attach {account}: {self.frames_held[account]} "
+                "frame(s) kept on the books",
+            )
+        if self.journal.enabled:
+            self.journal.append(
+                "spcm.reattach",
+                manager.name,
+                account=account,
+                held=self.frames_held[account],
+            )
 
     def note_frame_retired(self, frame) -> None:
         """The kernel retired ``frame`` after an ECC failure.

@@ -8,7 +8,10 @@ Subcommands:
   retrofit and check the equivalence contract;
 * ``fuzz`` --- a seeded coverage-guided campaign over both gates,
   writing minimized failing schedules to the corpus;
-* ``replay`` --- re-run recorded corpus schedules through the oracle.
+* ``replay`` --- re-run recorded corpus schedules through the oracle;
+* ``recovery`` --- the warm-restart equivalence gate: a crash-free run
+  and a crashed-and-warm-restarted run must reach the same
+  authoritative state.
 
 Exit codes follow the ``repro bench diff`` contract: 0 all checks
 passed, 1 a divergence or mismatch was found, 2 the inputs are not
@@ -166,6 +169,48 @@ def _cmd_replay(args) -> int:
     return 1 if failed else 0
 
 
+def _add_recovery(sub) -> None:
+    p = sub.add_parser(
+        "recovery",
+        help="check crashed-and-recovered runs reach the crash-free state",
+    )
+    p.add_argument(
+        "--workload",
+        default="all",
+        help="chaos workload or serving schedule name (default: all)",
+    )
+    p.add_argument(
+        "--nodes", type=int, default=None,
+        help="NUMA nodes (default: flat UMA)",
+    )
+    p.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the crash-only injection plan (default 0)",
+    )
+    p.set_defaults(fn=_cmd_recovery)
+
+
+def _cmd_recovery(args) -> int:
+    from repro.verify.recovery import (
+        run_recovery_gate,
+        run_recovery_gate_all,
+    )
+
+    if args.workload == "all":
+        reports = run_recovery_gate_all(
+            nodes=args.nodes, chaos_seed=args.chaos_seed
+        )
+    else:
+        reports = [
+            run_recovery_gate(
+                args.workload, nodes=args.nodes, chaos_seed=args.chaos_seed
+            )
+        ]
+    for report in reports:
+        print(report.render())
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse and dispatch one verify subcommand; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -177,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_oracle(sub)
     _add_fuzz(sub)
     _add_replay(sub)
+    _add_recovery(sub)
     args = parser.parse_args(argv)
     try:
         return args.fn(args)

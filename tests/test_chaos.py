@@ -396,7 +396,10 @@ class TestDiskDegradation:
         assert system.file_server.io_errors == 1
         assert system.disk.stats.errors == 1
         delta = system.kernel.meter.delta_since(snap)
-        assert delta["io_retry"] == system.kernel.costs.io_retry_backoff_us
+        base = system.kernel.costs.io_retry_backoff_us
+        # first retry: no doubling yet, deterministic jitter in [0.5, 1.0)
+        assert 0.5 * base <= delta["io_retry"] < base
+        assert delta["io_retry"] == system.file_server.io_backoff_us
 
     def test_persistent_errors_exhaust_retries(self, system):
         from repro.core.uio import MAX_IO_RETRIES
